@@ -1,0 +1,23 @@
+"""Workload characterization table (measured per-benchmark behaviour)."""
+
+from repro.workloads.characterize import characterize, format_characterization
+
+
+def test_characterization(benchmark, bench_settings, bench_profiles,
+                          record_exhibit):
+    rows = benchmark.pedantic(
+        lambda: characterize(bench_settings, bench_profiles),
+        rounds=1, iterations=1)
+    record_exhibit("characterization", format_characterization(rows))
+
+    by_suite = {"int": [], "fp": []}
+    for row in rows:
+        by_suite[row.suite].append(row)
+    if by_suite["int"] and by_suite["fp"]:
+        int_neutral = sum(r.neutral_frac for r in by_suite["int"]) \
+            / len(by_suite["int"])
+        fp_neutral = sum(r.neutral_frac for r in by_suite["fp"]) \
+            / len(by_suite["fp"])
+        assert fp_neutral > int_neutral  # IA64 fp bundle padding
+    dead = sum(r.dead_frac for r in rows) / len(rows)
+    assert 0.05 < dead < 0.40  # paper: ~20 % dynamically dead

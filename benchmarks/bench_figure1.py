@@ -1,0 +1,27 @@
+"""Figure 1: the fault-outcome taxonomy, populated by injection.
+
+Monte-Carlo strikes classified into the paper's outcome leaves for an
+unprotected queue, a parity-protected queue, and parity + store-π tracking.
+"""
+
+from repro.due.outcomes import FaultOutcome
+from repro.experiments import figure1
+
+
+def test_figure1_outcomes(benchmark, bench_settings, bench_trials,
+                          record_exhibit):
+    result = benchmark.pedantic(
+        lambda: figure1.run(bench_settings, benchmark="crafty",
+                            trials=bench_trials),
+        rounds=1, iterations=1)
+    record_exhibit("figure1", figure1.format_result(result))
+
+    # Detection removes SDC entirely; tracking shrinks false DUE.
+    assert result.parity.counts[FaultOutcome.SDC] == 0
+    assert result.tracked.false_due_estimate <= \
+        result.parity.false_due_estimate
+    # A substantial share of parity DUE events are false (paper: up to 52%).
+    if result.parity.due_avf_estimate > 0:
+        false_share = (result.parity.false_due_estimate
+                       / result.parity.due_avf_estimate)
+        assert false_share > 0.25

@@ -1,0 +1,36 @@
+"""Figure 2: false-DUE coverage of the tracking ladder.
+
+Paper increments: π-to-commit 18 %, anti-π 49 % (fp > int), PET-512 3 %,
+register π 11 %, store π 8 %, memory π 12 % — 100 % total.
+"""
+
+from repro.due.tracking import TrackingLevel
+from repro.experiments import figure2
+
+
+def test_figure2_coverage(benchmark, bench_settings, bench_profiles,
+                          record_exhibit):
+    result = benchmark.pedantic(
+        lambda: figure2.run(bench_settings, bench_profiles),
+        rounds=1, iterations=1)
+    record_exhibit("figure2", figure2.format_result(result))
+
+    # Cumulative and complete.
+    previous = 0.0
+    for level in (TrackingLevel.PI_COMMIT, TrackingLevel.ANTI_PI,
+                  TrackingLevel.PET, TrackingLevel.REG_PI,
+                  TrackingLevel.STORE_PI, TrackingLevel.MEM_PI):
+        current = result.average_coverage(level)
+        assert current >= previous - 1e-9
+        previous = current
+    assert result.average_coverage(TrackingLevel.MEM_PI) > 0.999
+
+    # The anti-π bit matters more for FP codes (more no-ops/prefetches).
+    anti_fp = (result.average_coverage(TrackingLevel.ANTI_PI, "fp")
+               - result.average_coverage(TrackingLevel.PI_COMMIT, "fp"))
+    anti_int = (result.average_coverage(TrackingLevel.ANTI_PI, "int")
+                - result.average_coverage(TrackingLevel.PI_COMMIT, "int"))
+    assert anti_fp > anti_int
+    # π-to-commit matters more for INT codes (more wrong-path).
+    assert result.average_coverage(TrackingLevel.PI_COMMIT, "int") > \
+        result.average_coverage(TrackingLevel.PI_COMMIT, "fp")

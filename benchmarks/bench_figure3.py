@@ -1,0 +1,31 @@
+"""Figure 3: PET-buffer coverage of FDD instructions vs buffer size.
+
+Paper anchors: 512 entries cover ~32 % of FDD-via-register deaths; pushing
+to ~10 K entries and adding return- and memory-tracked deaths covers most
+first-level-dead instructions.
+"""
+
+from repro.experiments import figure3
+
+
+def test_figure3_pet_curves(benchmark, bench_settings, bench_profiles,
+                            record_exhibit):
+    result = benchmark.pedantic(
+        lambda: figure3.run(bench_settings, bench_profiles),
+        rounds=1, iterations=1)
+    record_exhibit("figure3", figure3.format_result(result))
+
+    labels = [label for label, _ in figure3.SERIES]
+    # Monotone in size, nested across series.
+    for label in labels:
+        values = [result.coverage(label, s) for s in result.sizes]
+        assert values == sorted(values)
+    for size in result.sizes:
+        series = [result.coverage(label, size) for label in labels]
+        assert series == sorted(series)
+
+    # A 512-entry buffer covers a meaningful minority of register FDD...
+    base_512 = result.coverage(labels[0], 512)
+    assert 0.10 < base_512 < 0.80
+    # ...and the largest buffer with returns+memory covers most FDD.
+    assert result.coverage(labels[2], max(result.sizes)) > 0.75

@@ -1,0 +1,25 @@
+"""Section 4.1: the IQ residency decomposition and the parity DUE identity.
+
+Paper anchors: 30 % idle / 29 % ACE / 33 % valid un-ACE / 8 % Ex-ACE, so
+parity converts a 29 % SDC AVF into a 62 % DUE AVF; re-decoding at retire
+instead of storing an anti-π bit would raise false DUE from 33 % to 41 %.
+"""
+
+from repro.experiments import occupancy
+
+
+def test_occupancy_breakdown(benchmark, bench_settings, bench_profiles,
+                             record_exhibit):
+    result = benchmark.pedantic(
+        lambda: occupancy.run(bench_settings, bench_profiles),
+        rounds=1, iterations=1)
+    record_exhibit("occupancy", occupancy.format_result(result))
+
+    avg = result.averages()
+    # Broad-band checks on the paper's decomposition.
+    assert 0.15 < avg["ace"] < 0.45
+    assert 0.15 < avg["idle"] < 0.50
+    assert 0.03 < avg["ex_ace"] < 0.15
+    assert 0.15 < avg["valid_unace"] < 0.45
+    # Parity more than doubles the structure's error contribution.
+    assert avg["ace"] + avg["valid_unace"] > 1.5 * avg["ace"]

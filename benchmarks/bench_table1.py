@@ -1,0 +1,27 @@
+"""Table 1: IPC and SDC/DUE AVFs under squashing (the paper's headline).
+
+Regenerates the three design points (no squash / squash on L1 miss /
+squash on L0 miss) over the benchmark suite and reports the same columns
+as the paper, including the IPC/AVF MITF figures of merit.
+"""
+
+from repro.experiments import table1
+from repro.experiments.common import clear_caches
+
+
+def test_table1(benchmark, bench_settings, bench_profiles, record_exhibit):
+    def regenerate():
+        clear_caches()
+        return table1.run(bench_settings, bench_profiles)
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    record_exhibit("table1", table1.format_result(result))
+
+    base, l1, l0 = result.rows
+    # Shape assertions mirroring the paper's Table 1 relationships.
+    assert l1.sdc_avf < base.sdc_avf
+    assert l1.due_avf < base.due_avf
+    assert l1.ipc <= base.ipc
+    assert l0.ipc < l1.ipc
+    assert result.mitf_gain("Squash on L1 load misses", "sdc") > 0
+    assert result.mitf_gain("Squash on L1 load misses", "due") > 0

@@ -1,0 +1,9 @@
+"""Table 2: the benchmark catalogue (paper skip intervals + profile knobs)."""
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, record_exhibit):
+    text = benchmark(table2.format_result)
+    record_exhibit("table2", text)
+    assert "crafty" in text and "swim" in text

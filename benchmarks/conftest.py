@@ -1,0 +1,62 @@
+"""Shared benchmark configuration.
+
+Environment knobs:
+
+* ``REPRO_BENCH_INSTRUCTIONS`` — dynamic instructions per benchmark trace
+  (default 60000; the paper uses 100M SimPoints, see DESIGN.md scaling).
+* ``REPRO_BENCH_PROFILES`` — number of profiles (default: all 26).
+* ``REPRO_BENCH_TRIALS`` — fault-injection trials per campaign.
+
+Every exhibit benchmark writes its paper-style table to
+``benchmarks/results/<exhibit>.txt`` so the regenerated rows are inspectable
+after a ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import ExperimentSettings
+from repro.workloads.spec2000 import ALL_PROFILES
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+@pytest.fixture(scope="session")
+def bench_settings() -> ExperimentSettings:
+    return ExperimentSettings(
+        target_instructions=_env_int("REPRO_BENCH_INSTRUCTIONS", 60_000),
+        seed=2004,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_profiles():
+    count = _env_int("REPRO_BENCH_PROFILES", len(ALL_PROFILES))
+    if count >= len(ALL_PROFILES):
+        return list(ALL_PROFILES)
+    step = max(1, len(ALL_PROFILES) // count)
+    return ALL_PROFILES[::step][:count]
+
+
+@pytest.fixture(scope="session")
+def bench_trials() -> int:
+    return _env_int("REPRO_BENCH_TRIALS", 300)
+
+
+@pytest.fixture(scope="session")
+def record_exhibit():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _record

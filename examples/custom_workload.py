@@ -1,0 +1,107 @@
+"""Bring your own workload: profiles, raw programs, and custom machines.
+
+Three escalating levels of control over the evaluation substrate:
+
+1. derive a new :class:`BenchmarkProfile` (a hypothetical pointer-chasing
+   workload) and run it through the standard flow;
+2. hand-write a REPRO-64 program with the CodeBuilder and measure it;
+3. change the machine (a half-size instruction queue with squashing).
+
+    python examples/custom_workload.py
+"""
+
+from dataclasses import replace
+
+from repro import (
+    BenchmarkProfile,
+    ExperimentSettings,
+    FunctionalSimulator,
+    MachineConfig,
+    PipelineSimulator,
+    SquashConfig,
+    Trigger,
+    analyze_deadness,
+    compute_iq_avf,
+    run_benchmark,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.workloads.builder import CodeBuilder
+
+
+def custom_profile() -> None:
+    print("=== 1. custom profile: 'chaser' (pathological pointer chasing)")
+    chaser = BenchmarkProfile(
+        name="chaser",
+        suite="int",
+        w_rand_load=4.0,  # random loads into the L2-resident region
+        w_cold_load=1.0,
+        w_noop=20.0,
+        w_branch_rand=2.0,
+        fetch_bubble_prob=0.2,
+    )
+    settings = ExperimentSettings(target_instructions=15_000)
+    base = run_benchmark(chaser, settings, Trigger.NONE).report
+    squashed = run_benchmark(chaser, settings, Trigger.L1_MISS).report
+    print(f"  baseline : IPC {base.ipc:.2f}, SDC AVF {base.sdc_avf:.1%}")
+    print(f"  squash-L1: IPC {squashed.ipc:.2f}, "
+          f"SDC AVF {squashed.sdc_avf:.1%}")
+    print(f"  -> memory-bound code gives squashing a lot to remove\n")
+
+
+def hand_written_program() -> None:
+    print("=== 2. hand-written program through the same pipeline")
+    builder = CodeBuilder()
+    builder.begin_function("main")
+    builder.emit(Instruction(Opcode.MOVI, r1=1, imm=200))  # counter
+    builder.emit(Instruction(Opcode.MOVI, r1=2, imm=0x1000))  # base
+    head = builder.label("loop")
+    builder.bind(head)
+    builder.emit(Instruction(Opcode.LD, r1=3, r2=2, imm=0))
+    builder.emit(Instruction(Opcode.ADD, r1=4, r2=4, r3=3))
+    builder.emit(Instruction(Opcode.NOP))
+    builder.emit(Instruction(Opcode.MOVI, r1=9, imm=7))  # dead every trip
+    builder.emit(Instruction(Opcode.ST, r1=4, r2=2, imm=0))
+    builder.emit(Instruction(Opcode.ADDI, r1=1, r2=1, imm=-1))
+    builder.emit(Instruction(Opcode.CMP_NE, r1=5, r2=1, r3=0))
+    builder.emit_control(Opcode.BR, head, qp=5)
+    builder.emit(Instruction(Opcode.OUT, r2=4))
+    builder.emit(Instruction(Opcode.HALT))
+    builder.end_function()
+    program = builder.build(name="handwritten")
+
+    execution = FunctionalSimulator(program).run()
+    deadness = analyze_deadness(execution)
+    pipeline = PipelineSimulator(program, execution.trace,
+                                 MachineConfig(fetch_bubble_prob=0.0)).run()
+    report = compute_iq_avf("handwritten", pipeline, deadness)
+    print(f"  {len(execution.trace)} instructions, IPC {report.ipc:.2f}")
+    print(f"  dead fraction {deadness.dead_fraction():.1%} "
+          f"(the MOVI r9 is rediscovered as dead every iteration)")
+    print(f"  SDC AVF {report.sdc_avf:.1%}, DUE AVF {report.due_avf:.1%}\n")
+
+
+def custom_machine() -> None:
+    print("=== 3. custom machine: 32-entry IQ with L0-miss squashing")
+    from repro.workloads.spec2000 import get_profile
+    from repro.experiments.common import functional_parts
+    from repro.avf.occupancy import compute_breakdown
+
+    settings = ExperimentSettings(target_instructions=15_000)
+    profile = get_profile("swim")
+    program, execution, deadness = functional_parts(profile, settings)
+    machine = MachineConfig(
+        iq_entries=32,
+        fetch_bubble_prob=profile.fetch_bubble_prob,
+        squash=SquashConfig(trigger=Trigger.L0_MISS),
+    )
+    pipeline = PipelineSimulator(program, execution.trace, machine).run()
+    breakdown = compute_breakdown(pipeline, deadness)
+    print(f"  IPC {pipeline.ipc:.2f}, SDC AVF {breakdown.sdc_avf:.1%}, "
+          f"squashes {pipeline.stats['squash_events']:.0f}")
+
+
+if __name__ == "__main__":
+    custom_profile()
+    hand_written_program()
+    custom_machine()

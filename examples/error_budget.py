@@ -1,0 +1,78 @@
+"""Chip-level soft-error budgeting with measured AVFs.
+
+Places the instruction-queue AVF numbers this repository measures into the
+whole-chip budget framing of the paper's Section 2: per-structure
+raw-FIT x AVF contributions summed against vendor-style SDC/DUE MTTF
+targets — and shows how the paper's two techniques move a failing design
+into budget.
+
+    python examples/error_budget.py
+"""
+
+from repro import ExperimentSettings, Trigger, get_profile, run_benchmark
+from repro.avf.budget import ChipBudget, StructureContribution
+from repro.due.tracking import TrackingLevel, due_avf_with_tracking
+
+RAW_FIT_PER_BIT = 1e-3  # typical published SRAM figure
+IQ_BITS = 64 * 41
+
+
+def build_budget(iq_sdc_avf: float, iq_due_avf: float,
+                 iq_detected: bool) -> ChipBudget:
+    """A toy chip: the modeled IQ plus representative other structures."""
+    budget = ChipBudget(sdc_mttf_target_years=1000.0,
+                        due_mttf_target_years=25.0)
+    budget.add(StructureContribution(
+        "instruction queue", bits=IQ_BITS, raw_fit_per_bit=RAW_FIT_PER_BIT,
+        sdc_avf=iq_sdc_avf, due_avf=iq_due_avf, detected=iq_detected))
+    budget.add(StructureContribution(
+        "register file (parity)", bits=128 * 64,
+        raw_fit_per_bit=RAW_FIT_PER_BIT,
+        sdc_avf=0.0, due_avf=0.20, detected=True))
+    budget.add(StructureContribution(
+        "branch predictor", bits=32 * 1024,
+        raw_fit_per_bit=RAW_FIT_PER_BIT, sdc_avf=0.0))  # benign by nature
+    budget.add(StructureContribution(
+        "caches (ECC)", bits=512 * 1024 * 8,
+        raw_fit_per_bit=RAW_FIT_PER_BIT, sdc_avf=0.0, due_avf=0.0))
+    return budget
+
+
+def describe(label: str, budget: ChipBudget) -> None:
+    headroom = budget.headroom()
+    print(f"{label}:")
+    print(f"  SDC: {budget.sdc_fit:8.2f} FIT "
+          f"(MTTF {budget.sdc_mttf_years():9.0f} yr, "
+          f"target x{headroom['sdc']:.2f}) "
+          f"{'OK' if budget.meets_sdc_target() else 'OVER BUDGET'}")
+    print(f"  DUE: {budget.due_fit:8.2f} FIT "
+          f"(MTTF {budget.due_mttf_years():9.0f} yr, "
+          f"target x{headroom['due']:.2f}) "
+          f"{'OK' if budget.meets_due_target() else 'OVER BUDGET'}")
+    dominant = budget.dominant_contributor("due") or \
+        budget.dominant_contributor("sdc")
+    print(f"  dominant contributor: {dominant}\n")
+
+
+def main() -> None:
+    settings = ExperimentSettings(target_instructions=20_000)
+    base = run_benchmark(get_profile("mcf"), settings, Trigger.NONE).report
+    squashed = run_benchmark(get_profile("mcf"), settings,
+                             Trigger.L1_MISS).report
+    tracked_due = due_avf_with_tracking(squashed.breakdown,
+                                        TrackingLevel.STORE_PI)
+
+    print(f"measured IQ AVFs (mcf): SDC {base.sdc_avf:.1%}, "
+          f"parity DUE {base.due_avf:.1%}; with squash+tracking "
+          f"DUE {tracked_due:.1%}\n")
+
+    describe("1. unprotected IQ",
+             build_budget(base.sdc_avf, 0.0, iq_detected=False))
+    describe("2. parity IQ (SDC -> DUE, rate more than doubles)",
+             build_budget(base.sdc_avf, base.due_avf, iq_detected=True))
+    describe("3. parity IQ + squash-L1 + store-pi tracking",
+             build_budget(squashed.sdc_avf, tracked_due, iq_detected=True))
+
+
+if __name__ == "__main__":
+    main()

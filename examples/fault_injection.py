@@ -1,0 +1,81 @@
+"""Fault injection vs ACE analysis: validating the AVF methodology.
+
+Injects single-bit strikes into the instruction queue of a running
+benchmark, classifies every outcome per the paper's Figure 1, and compares
+the statistical AVF estimates against the analytical (ACE-analysis) ones —
+quantifying how conservative ACE analysis is, and confirming that the π-bit
+tracking never suppresses a harmful error (up to the documented trace-replay
+artifact).
+
+    python examples/fault_injection.py [trials]
+"""
+
+import sys
+
+from repro import (
+    CampaignConfig,
+    ExperimentSettings,
+    Trigger,
+    TrackingLevel,
+    get_profile,
+    run_benchmark,
+    run_campaign,
+)
+from repro.due.outcomes import FaultOutcome
+
+
+def main() -> None:
+    trials = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    settings = ExperimentSettings(target_instructions=15_000)
+    bench = run_benchmark(get_profile("mcf"), settings, Trigger.NONE)
+
+    print(f"injecting {trials} strikes per configuration into "
+          f"{bench.profile.name}'s instruction queue...\n")
+
+    configs = [
+        ("unprotected", CampaignConfig(trials=trials)),
+        ("parity", CampaignConfig(trials=trials, parity=True)),
+        ("parity + store-pi", CampaignConfig(
+            trials=trials, parity=True, tracking=TrackingLevel.STORE_PI)),
+        ("parity + memory-pi", CampaignConfig(
+            trials=trials, parity=True, tracking=TrackingLevel.MEM_PI)),
+    ]
+    results = {}
+    for label, config in configs:
+        results[label] = run_campaign(bench.program, bench.execution,
+                                      bench.pipeline, config)
+
+    outcomes = [o for o in FaultOutcome
+                if any(r.counts[o] for r in results.values())]
+    print(f"{'outcome':16s}" + "".join(f"{label:>20s}"
+                                       for label, _ in configs))
+    for outcome in outcomes:
+        row = f"{outcome.value:16s}"
+        for label, _ in configs:
+            row += f"{results[label].rate(outcome):>20.1%}"
+        print(row)
+
+    unprotected = results["unprotected"]
+    parity = results["parity"]
+    print(f"\ninjection SDC AVF estimate : "
+          f"{unprotected.sdc_avf_estimate:.1%} "
+          f"(+-{unprotected.rate_confidence(FaultOutcome.SDC, FaultOutcome.TRAP, FaultOutcome.HANG):.1%})")
+    print(f"analytical SDC AVF (ACE)   : {bench.report.sdc_avf:.1%}  "
+          f"<- conservative by construction")
+    print(f"injection DUE AVF (parity) : {parity.due_avf_estimate:.1%}, "
+          f"of which false: {parity.false_due_estimate:.1%}")
+    print(f"analytical DUE AVF (parity): {bench.report.due_avf:.1%}")
+    tracked = results["parity + memory-pi"]
+    print(f"\nwith full memory-pi tracking, {tracked.false_due_estimate:.1%} "
+          f"of strikes still signal despite being harmless.")
+    print("  These are strikes on *live* instructions whose flipped bit "
+          "happened not to matter (an unused immediate bit, a source that "
+          "cancels out): pi tracking cannot see inside values, and the "
+          "paper's category-based accounting counts them as TRUE DUE. "
+          "Category-based false DUE coverage is 100% (see Figure 2).")
+    print(f"tracker misses: {tracked.tracker_misses} of {trials} "
+          f"(trace-replay artifact, see DESIGN.md)")
+
+
+if __name__ == "__main__":
+    main()

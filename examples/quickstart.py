@@ -1,0 +1,54 @@
+"""Quickstart: measure one benchmark's soft-error profile in ~20 lines.
+
+Runs the `crafty` workload through the full stack — synthesis, functional
+execution, dead-code analysis, timing simulation — once without and once
+with the paper's squash-on-L1-miss exposure reduction, and prints the
+IPC / AVF / MITF trade-off.
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    ExperimentSettings,
+    SoftErrorRateModel,
+    Trigger,
+    get_profile,
+    run_benchmark,
+)
+
+
+def main() -> None:
+    settings = ExperimentSettings(target_instructions=30_000)
+    profile = get_profile("crafty")
+
+    base = run_benchmark(profile, settings, Trigger.NONE).report
+    squashed = run_benchmark(profile, settings, Trigger.L1_MISS).report
+
+    print(f"benchmark: {profile.name} ({profile.suite})")
+    print(f"{'':24s} {'baseline':>10s} {'squash-L1':>10s}")
+    print(f"{'IPC':24s} {base.ipc:10.2f} {squashed.ipc:10.2f}")
+    print(f"{'SDC AVF (unprotected)':24s} {base.sdc_avf:10.1%} "
+          f"{squashed.sdc_avf:10.1%}")
+    print(f"{'DUE AVF (parity)':24s} {base.due_avf:10.1%} "
+          f"{squashed.due_avf:10.1%}")
+    print(f"{'IPC / SDC AVF':24s} {base.ipc_over_sdc_avf:10.1f} "
+          f"{squashed.ipc_over_sdc_avf:10.1f}")
+
+    # Absolute numbers need a raw circuit error rate: 1e-3 FIT/bit here.
+    model = SoftErrorRateModel()
+    for label, report in (("baseline", base), ("squash-L1", squashed)):
+        mttf = model.mttf_years(report.sdc_avf)
+        mitf = model.mitf(report.ipc, report.sdc_avf)
+        print(f"{label:12s} SDC MTTF {mttf:8.0f} years   "
+              f"SDC MITF {mitf:.2e} instructions")
+
+    gain = (squashed.ipc_over_sdc_avf / base.ipc_over_sdc_avf - 1.0)
+    cost = (squashed.ipc / base.ipc - 1.0)
+    print(f"\nsquashing changed IPC by {cost:+.1%} "
+          f"but SDC MITF by {gain:+.1%} -> "
+          f"{'worth it' if gain > 0 else 'not worth it'} by the paper's "
+          f"MITF criterion")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Exposure reduction across the whole suite: Table 1 plus the MITF rule.
+
+Sweeps the three design points of the paper's Table 1 (no squashing,
+squash on L1 miss, squash on L0 miss) over a sample of the SPEC CPU2000
+profiles and applies Section 3.2's MITF criterion: a mechanism is worth
+deploying only if it shrinks AVF by a larger factor than it shrinks IPC.
+
+    python examples/squashing_tradeoff.py [n_profiles] [instructions]
+"""
+
+import sys
+
+from repro import ExperimentSettings
+from repro.experiments import table1
+from repro.workloads.spec2000 import ALL_PROFILES
+
+
+def main() -> None:
+    count = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 20_000
+    profiles = ALL_PROFILES[::max(1, len(ALL_PROFILES) // count)][:count]
+    settings = ExperimentSettings(target_instructions=instructions)
+
+    result = table1.run(settings, profiles)
+    print(table1.format_result(result))
+
+    print("\nPer-benchmark view (squash on L1 misses):")
+    base = result.details["No squashing"]
+    l1 = result.details["Squash on L1 load misses"]
+    for name in sorted(base):
+        b, s = base[name], l1[name]
+        avf_change = s.sdc_avf / b.sdc_avf - 1.0
+        ipc_change = s.ipc / b.ipc - 1.0
+        verdict = "+" if (s.ipc_over_sdc_avf > b.ipc_over_sdc_avf) else "-"
+        print(f"  {name:18s} SDC AVF {avf_change:+6.1%}  "
+              f"IPC {ipc_change:+6.1%}  MITF {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in pyproject.toml. This file exists so the
+package can still be installed in constrained offline environments where
+the `wheel` package (needed for PEP-660 editable installs with older
+setuptools) is unavailable:
+
+    python setup.py develop    # or: pip install -e . --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,86 @@
+"""repro — a reproduction of Weaver, Emer, Mukherjee & Reinhardt,
+"Techniques to Reduce the Soft Error Rate of a High-Performance
+Microprocessor" (ISCA 2004).
+
+The package builds, from scratch, everything the paper's evaluation needs:
+
+* :mod:`repro.isa` / :mod:`repro.arch` — an executable IA64-like
+  instruction set and its functional simulator;
+* :mod:`repro.workloads` — 26 SPEC CPU2000-calibrated synthetic programs;
+* :mod:`repro.memory` / :mod:`repro.pipeline` — the Itanium®2-like
+  in-order timing model with the squash/throttle exposure-reduction
+  mechanisms;
+* :mod:`repro.analysis` / :mod:`repro.avf` — dynamic dead-code analysis
+  and the SDC/DUE AVF + MITF computations;
+* :mod:`repro.due` — the π bit, anti-π bit, PET buffer and the tracking
+  ladder for false-DUE elimination;
+* :mod:`repro.faults` — single-bit fault injection for validation;
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro import ExperimentSettings, Trigger, run_benchmark, get_profile
+
+    run = run_benchmark(get_profile("crafty"),
+                        ExperimentSettings(target_instructions=30_000),
+                        Trigger.L1_MISS)
+    print(run.report.ipc, run.report.sdc_avf, run.report.due_avf)
+"""
+
+from repro.analysis.deadcode import DeadnessAnalysis, DynClass, analyze_deadness
+from repro.arch.executor import FunctionalSimulator
+from repro.avf.avf_calc import IqAvfReport, compute_iq_avf
+from repro.avf.mitf import SoftErrorRateModel, mitf, mitf_ratio
+from repro.avf.occupancy import AccountingPolicy, compute_breakdown
+from repro.due.pet import PetBuffer, pet_coverage_by_size
+from repro.due.pi_bit import PiBitTracker
+from repro.due.tracking import TrackingLevel, due_avf_with_tracking
+from repro.experiments.common import (
+    BenchmarkRun,
+    ExperimentSettings,
+    run_benchmark,
+)
+from repro.faults.campaign import CampaignConfig, run_campaign
+from repro.pipeline.config import MachineConfig, SquashAction, SquashConfig, Trigger
+from repro.pipeline.core import PipelineSimulator, simulate
+from repro.workloads.codegen import synthesize
+from repro.workloads.profile import BenchmarkProfile
+from repro.workloads.spec2000 import ALL_PROFILES, get_profile, profile_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeadnessAnalysis",
+    "DynClass",
+    "analyze_deadness",
+    "FunctionalSimulator",
+    "IqAvfReport",
+    "compute_iq_avf",
+    "SoftErrorRateModel",
+    "mitf",
+    "mitf_ratio",
+    "AccountingPolicy",
+    "compute_breakdown",
+    "PetBuffer",
+    "pet_coverage_by_size",
+    "PiBitTracker",
+    "TrackingLevel",
+    "due_avf_with_tracking",
+    "BenchmarkRun",
+    "ExperimentSettings",
+    "run_benchmark",
+    "CampaignConfig",
+    "run_campaign",
+    "MachineConfig",
+    "SquashAction",
+    "SquashConfig",
+    "Trigger",
+    "PipelineSimulator",
+    "simulate",
+    "synthesize",
+    "BenchmarkProfile",
+    "ALL_PROFILES",
+    "get_profile",
+    "profile_names",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Post-commit analyses over the dynamic trace.
+
+The centrepiece is the dynamic dead-code analysis (`deadcode`): a backward
+liveness pass over the committed trace that classifies every dynamic
+instruction as live (ACE), neutral, predicated-false, or dynamically dead —
+first-level vs transitive, tracked via registers vs memory, and (for the
+paper's Figure 3) first-level-dead *because of a procedure return*.
+"""
+
+from repro.analysis.deadcode import (
+    DeadnessAnalysis,
+    DynClass,
+    analyze_deadness,
+)
+
+__all__ = ["DeadnessAnalysis", "DynClass", "analyze_deadness"]

@@ -1,0 +1,214 @@
+"""Dynamic dead-code analysis (paper Section 4.1).
+
+Classifies every committed instruction by whether a fault in its IQ entry
+could have reached the program's observable output:
+
+* **LIVE** — the instruction's effect reaches an ``OUT`` (I/O), or it is a
+  control instruction. (Like the paper, we conservatively treat all control
+  decisions as mattering: Y-branch effects are grouped under true DUE.)
+* **NEUTRAL** — no-ops, prefetches, branch hints: by construction they can
+  never affect architectural state.
+* **PRED_FALSE** — committed but nullified by a false qualifying predicate.
+* **FDD_REG / FDD_REG_RETURN** — wrote a register that no instruction read
+  before it was overwritten (or before the program ended). The ``_RETURN``
+  variant died because its function returned first — the paper's
+  "FDD via procedure return" category of Figure 3.
+* **TDD_REG** — its register result was read, but only by dynamically dead
+  instructions (transitively dead via registers).
+* **FDD_MEM / TDD_MEM** — same two notions for store values in memory.
+
+The analysis is a forward def-use-chain construction followed by a backward
+liveness sweep; it discovers deadness from real dataflow, independent of
+how the workload generator arranged the code.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, unique
+from typing import Dict, List, Optional
+
+from repro.arch.result import ExecutionResult
+from repro.isa.opcodes import InstrClass
+
+
+@unique
+class DynClass(Enum):
+    """ACE classification of one committed dynamic instruction."""
+
+    LIVE = "live"
+    NEUTRAL = "neutral"
+    PRED_FALSE = "pred_false"
+    FDD_REG = "fdd_reg"
+    FDD_REG_RETURN = "fdd_reg_return"
+    TDD_REG = "tdd_reg"
+    FDD_MEM = "fdd_mem"
+    TDD_MEM = "tdd_mem"
+
+
+#: Classes the paper calls "dynamically dead".
+DEAD_CLASSES = frozenset({
+    DynClass.FDD_REG, DynClass.FDD_REG_RETURN, DynClass.TDD_REG,
+    DynClass.FDD_MEM, DynClass.TDD_MEM,
+})
+
+_CONTROL_CLASSES = frozenset({
+    InstrClass.BRANCH, InstrClass.CALL, InstrClass.RET, InstrClass.HALT,
+})
+
+
+class DeadnessAnalysis:
+    """Per-instruction classification plus dead-value overwrite distances."""
+
+    def __init__(
+        self,
+        classes: List[DynClass],
+        overwrite_distance: Dict[int, Optional[int]],
+    ) -> None:
+        #: ``classes[seq]`` is the classification of trace entry ``seq``.
+        self.classes = classes
+        #: For dead register/memory writers: commits until the overwrite
+        #: (None when the value was still unread at program end).
+        self.overwrite_distance = overwrite_distance
+
+    def class_of(self, seq: int) -> DynClass:
+        return self.classes[seq]
+
+    def count(self, cls: DynClass) -> int:
+        return sum(1 for c in self.classes if c is cls)
+
+    def dead_fraction(self) -> float:
+        """Fraction of committed instructions that are dynamically dead."""
+        if not self.classes:
+            return 0.0
+        dead = sum(1 for c in self.classes if c in DEAD_CLASSES)
+        return dead / len(self.classes)
+
+    def summary(self) -> Dict[str, float]:
+        total = max(1, len(self.classes))
+        return {cls.value: self.count(cls) / total for cls in DynClass}
+
+
+def analyze_deadness(result: ExecutionResult) -> DeadnessAnalysis:
+    """Run the liveness analysis over one functional execution."""
+    trace = result.trace
+    n = len(trace)
+
+    # Forward pass: def-use chains for registers, predicates, and memory.
+    readers: List[List[int]] = [[] for _ in range(n)]
+    overwrite_seq: List[Optional[int]] = [None] * n
+    #: Producers whose predicate was consumed as a qualifying predicate.
+    #: A qp read is a nullification decision: flipping the predicate makes
+    #: a nullified instruction execute (or vice versa), so the producing
+    #: compare is ACE no matter what the consumer itself does.
+    predicate_consumed = [False] * n
+    reg_writer: Dict[int, int] = {}
+    pred_writer: Dict[int, int] = {}
+    mem_writer: Dict[int, int] = {}
+
+    for op in trace:
+        seq = op.seq
+        instruction = op.instruction
+        # Reads: qualifying predicate (read even when false — the value
+        # decides nullification), register sources, memory loads. Neutral
+        # instructions contribute no liveness edges: their "reads" are
+        # architecturally inconsequential.
+        if not instruction.is_neutral:
+            if instruction.qp != 0 and instruction.qp in pred_writer:
+                readers[pred_writer[instruction.qp]].append(seq)
+                predicate_consumed[pred_writer[instruction.qp]] = True
+            for reg in op.src_gprs:
+                writer = reg_writer.get(reg)
+                if writer is not None:
+                    readers[writer].append(seq)
+            if op.is_load and op.mem_addr is not None:
+                writer = mem_writer.get(op.mem_addr)
+                if writer is not None:
+                    readers[writer].append(seq)
+        # Writes (predicated-false instructions write nothing).
+        if op.executed:
+            if op.dest_gpr:
+                prior = reg_writer.get(op.dest_gpr)
+                if prior is not None:
+                    overwrite_seq[prior] = seq
+                reg_writer[op.dest_gpr] = seq
+            if op.dest_pred >= 0:
+                prior = pred_writer.get(op.dest_pred)
+                if prior is not None:
+                    overwrite_seq[prior] = seq
+                pred_writer[op.dest_pred] = seq
+            if op.is_store and op.mem_addr is not None:
+                prior = mem_writer.get(op.mem_addr)
+                if prior is not None:
+                    overwrite_seq[prior] = seq
+                mem_writer[op.mem_addr] = seq
+
+    # Backward pass: liveness, plus whether a (dead) value's consumer chain
+    # passes through memory. The latter decides the paper's "tracked via
+    # register" vs "tracked via memory" split: a register write whose dead
+    # chain ends in a store can only be proven false once π bits extend to
+    # the memory system (Section 4.3.3 option 4), so it must be classified
+    # as memory-tracked even though the instruction itself wrote a register.
+    live = [False] * n
+    reaches_memory = [False] * n
+    for seq in range(n - 1, -1, -1):
+        op = trace[seq]
+        reaches_memory[seq] = op.is_store or any(
+            reaches_memory[r] for r in readers[seq])
+        if op.is_output:
+            live[seq] = True
+            continue
+        if op.executed and op.instruction.instr_class in _CONTROL_CLASSES:
+            live[seq] = True
+            continue
+        if predicate_consumed[seq]:
+            live[seq] = True
+            continue
+        live[seq] = any(live[r] for r in readers[seq])
+
+    # Classification.
+    invocations = result.invocations
+    classes: List[DynClass] = [DynClass.LIVE] * n
+    distances: Dict[int, Optional[int]] = {}
+
+    for op in trace:
+        seq = op.seq
+        instruction = op.instruction
+        if instruction.is_neutral:
+            classes[seq] = DynClass.NEUTRAL
+            continue
+        if op.predicated_false:
+            classes[seq] = DynClass.PRED_FALSE
+            continue
+        if live[seq]:
+            classes[seq] = DynClass.LIVE
+            continue
+        # Dead: split by what it wrote and whether anything read it.
+        was_read = bool(readers[seq])
+        over = overwrite_seq[seq]
+        if op.is_store:
+            classes[seq] = DynClass.TDD_MEM if was_read else DynClass.FDD_MEM
+            distances[seq] = None if over is None else over - seq
+        elif op.dest_gpr or op.dest_pred >= 0:
+            if was_read:
+                classes[seq] = (DynClass.TDD_MEM if reaches_memory[seq]
+                                else DynClass.TDD_REG)
+            else:
+                writer_invocation = invocations.get(op.invocation)
+                returned_first = (
+                    writer_invocation is not None
+                    and writer_invocation.returned
+                    and (over is None
+                         or writer_invocation.return_seq < over)
+                )
+                if returned_first and op.invocation != 0:
+                    classes[seq] = DynClass.FDD_REG_RETURN
+                else:
+                    classes[seq] = DynClass.FDD_REG
+            distances[seq] = None if over is None else over - seq
+        else:
+            # Executed, wrote nothing (e.g. a store nullified elsewhere or a
+            # write to r0), and nothing read it: first-level dead.
+            classes[seq] = DynClass.FDD_REG
+            distances[seq] = None
+
+    return DeadnessAnalysis(classes=classes, overwrite_distance=distances)

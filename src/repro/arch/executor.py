@@ -1,0 +1,245 @@
+"""The functional simulator: executes a program and records its trace.
+
+The executor is deliberately strict about abnormal conditions because fault
+injection routinely produces them: illegal opcodes trap, returns with an
+empty call stack trap, jumps outside the code segment trap, and runaway
+executions are cut off by an instruction budget (and classified as hangs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arch.result import ExecutionResult, ExecutionStatus, InvocationRecord
+from repro.arch.state import WORD_MASK, ArchState
+from repro.arch.trace import CommittedOp
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+
+_SIGN_BIT = 1 << 63
+
+
+def _signed(value: int) -> int:
+    """Interpret a 64-bit pattern as two's-complement."""
+    return value - (1 << 64) if value & _SIGN_BIT else value
+
+
+@dataclass(frozen=True)
+class ExecutionLimits:
+    """Budget for one functional run.
+
+    ``max_instructions`` bounds corrupted executions that loop forever;
+    exceeding it yields :data:`ExecutionStatus.LIMIT`, which the fault
+    layer classifies as a hang (a detected failure, not SDC).
+    """
+
+    max_instructions: int = 2_000_000
+
+    def __post_init__(self) -> None:
+        if self.max_instructions <= 0:
+            raise ValueError("max_instructions must be positive")
+
+
+class FunctionalSimulator:
+    """Executes REPRO-64 programs architecturally.
+
+    Parameters
+    ----------
+    program:
+        The program to execute.
+    limits:
+        Execution budget; defaults are generous for normal runs.
+    """
+
+    def __init__(
+        self, program: Program, limits: Optional[ExecutionLimits] = None
+    ) -> None:
+        self.program = program
+        self.limits = limits or ExecutionLimits()
+
+    def run(
+        self,
+        record_trace: bool = True,
+        override_seq: Optional[int] = None,
+        override_instruction: Optional[Instruction] = None,
+    ) -> ExecutionResult:
+        """Execute the program to completion.
+
+        ``override_seq``/``override_instruction`` substitute one dynamic
+        instruction (by commit sequence number) with a different — typically
+        bit-flipped — instruction. This is how the fault injector re-executes
+        a program "as if" the in-flight copy of instruction *n* had been
+        struck: execution is deterministic up to that point, so the commit
+        sequence numbers of the baseline and the corrupted run line up.
+        """
+        if (override_seq is None) != (override_instruction is None):
+            raise ValueError("override_seq and override_instruction go together")
+
+        program = self.program
+        state = ArchState()
+        trace = [] if record_trace else None
+        outputs = []
+        invocations = {0: InvocationRecord(invocation=0, entry_pc=program.entry,
+                                           call_seq=-1)}
+        invocation_stack = [0]
+        next_invocation = 1
+
+        pc = program.entry
+        seq = 0
+        status = ExecutionStatus.LIMIT
+        max_instructions = self.limits.max_instructions
+
+        while seq < max_instructions:
+            if not program.in_range(pc):
+                status = ExecutionStatus.TRAP_ILLEGAL
+                break
+            instruction = program.fetch(pc)
+            if seq == override_seq:
+                instruction = override_instruction
+
+            opcode = instruction.opcode
+            if opcode is Opcode.ILLEGAL:
+                status = ExecutionStatus.TRAP_ILLEGAL
+                break
+            if opcode is Opcode.HALT:
+                status = ExecutionStatus.HALTED
+                if trace is not None:
+                    trace.append(CommittedOp(
+                        seq, pc, instruction, executed=True, next_pc=pc,
+                        invocation=invocation_stack[-1]))
+                break
+
+            executed = state.read_predicate(instruction.qp)
+            current_invocation = invocation_stack[-1]
+            next_pc = pc + 1
+            dest_gpr = 0
+            dest_pred = -1
+            src_gprs: tuple = ()
+            mem_addr = None
+            branch_taken = False
+            is_output = False
+
+            if executed:
+                if opcode is Opcode.ADD or opcode is Opcode.SUB \
+                        or opcode is Opcode.AND or opcode is Opcode.OR \
+                        or opcode is Opcode.XOR or opcode is Opcode.SHL \
+                        or opcode is Opcode.SHR or opcode is Opcode.MUL:
+                    a = state.read_gpr(instruction.r2)
+                    b = state.read_gpr(instruction.r3)
+                    value = _ALU_OPS[opcode](a, b)
+                    state.write_gpr(instruction.r1, value)
+                    dest_gpr = instruction.r1
+                    src_gprs = instruction.source_gprs()
+                elif opcode is Opcode.ADDI:
+                    a = state.read_gpr(instruction.r2)
+                    state.write_gpr(instruction.r1, a + instruction.imm)
+                    dest_gpr = instruction.r1
+                    src_gprs = instruction.source_gprs()
+                elif opcode is Opcode.ANDI:
+                    a = state.read_gpr(instruction.r2)
+                    state.write_gpr(instruction.r1, a & (instruction.imm & WORD_MASK))
+                    dest_gpr = instruction.r1
+                    src_gprs = instruction.source_gprs()
+                elif opcode is Opcode.MOVI:
+                    state.write_gpr(instruction.r1, instruction.imm & WORD_MASK)
+                    dest_gpr = instruction.r1
+                elif opcode is Opcode.LD:
+                    base = state.read_gpr(instruction.r2)
+                    mem_addr = (base + instruction.imm) & WORD_MASK
+                    state.write_gpr(instruction.r1, state.load(mem_addr))
+                    dest_gpr = instruction.r1
+                    src_gprs = instruction.source_gprs()
+                elif opcode is Opcode.ST:
+                    base = state.read_gpr(instruction.r2)
+                    mem_addr = (base + instruction.imm) & WORD_MASK
+                    state.store(mem_addr, state.read_gpr(instruction.r1))
+                    src_gprs = instruction.source_gprs()
+                elif opcode is Opcode.CMP_EQ or opcode is Opcode.CMP_LT \
+                        or opcode is Opcode.CMP_NE:
+                    a = state.read_gpr(instruction.r2)
+                    b = state.read_gpr(instruction.r3)
+                    result = _CMP_OPS[opcode](a, b)
+                    pred_index = instruction.dest_predicate
+                    state.write_predicate(pred_index, result)
+                    dest_pred = pred_index
+                    src_gprs = instruction.source_gprs()
+                elif opcode is Opcode.BR:
+                    branch_taken = True
+                    next_pc = pc + instruction.imm
+                elif opcode is Opcode.CALL:
+                    branch_taken = True
+                    state.call_stack.append(pc + 1)
+                    next_pc = pc + instruction.imm
+                    invocations[next_invocation] = InvocationRecord(
+                        invocation=next_invocation, entry_pc=next_pc, call_seq=seq)
+                    invocation_stack.append(next_invocation)
+                    next_invocation += 1
+                elif opcode is Opcode.RET:
+                    if not state.call_stack:
+                        status = ExecutionStatus.RET_UNDERFLOW
+                        break
+                    branch_taken = True
+                    next_pc = state.call_stack.pop()
+                    finished = invocation_stack.pop()
+                    invocations[finished].return_seq = seq
+                elif opcode is Opcode.OUT:
+                    outputs.append(state.read_gpr(instruction.r2))
+                    src_gprs = instruction.source_gprs()
+                    is_output = True
+                # NOP / PREFETCH / HINT: architecturally invisible.
+
+            if trace is not None:
+                trace.append(CommittedOp(
+                    seq=seq,
+                    pc=pc,
+                    instruction=instruction,
+                    executed=executed,
+                    dest_gpr=dest_gpr,
+                    dest_pred=dest_pred,
+                    src_gprs=src_gprs,
+                    mem_addr=mem_addr,
+                    is_store=executed and opcode is Opcode.ST,
+                    is_load=executed and opcode is Opcode.LD,
+                    branch_taken=branch_taken,
+                    next_pc=next_pc,
+                    invocation=current_invocation,
+                    is_output=is_output,
+                ))
+
+            pc = next_pc
+            seq += 1
+
+        return ExecutionResult(
+            status=status,
+            trace=trace if trace is not None else [],
+            outputs=tuple(outputs),
+            invocations=invocations,
+        )
+
+
+def _shift_left(a: int, b: int) -> int:
+    return (a << (b % 64)) & WORD_MASK
+
+
+def _shift_right(a: int, b: int) -> int:
+    return a >> (b % 64)
+
+
+_ALU_OPS = {
+    Opcode.ADD: lambda a, b: (a + b) & WORD_MASK,
+    Opcode.SUB: lambda a, b: (a - b) & WORD_MASK,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SHL: _shift_left,
+    Opcode.SHR: _shift_right,
+    Opcode.MUL: lambda a, b: (a * b) & WORD_MASK,
+}
+
+_CMP_OPS = {
+    Opcode.CMP_EQ: lambda a, b: a == b,
+    Opcode.CMP_NE: lambda a, b: a != b,
+    Opcode.CMP_LT: lambda a, b: _signed(a) < _signed(b),
+}

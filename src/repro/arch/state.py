@@ -1,0 +1,53 @@
+"""Architectural state: registers, predicates, sparse memory, call stack."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.isa.registers import GPR_ZERO, NUM_GPRS, NUM_PREDICATES, PRED_TRUE
+
+#: All architectural integer values are 64-bit.
+WORD_MASK = (1 << 64) - 1
+
+#: Data addresses are confined to a 48-bit space, like a real virtual
+#: address width; corrupted address arithmetic wraps instead of exploding
+#: the sparse memory dictionary.
+ADDRESS_MASK = (1 << 48) - 1
+
+
+class ArchState:
+    """Mutable architectural state for one program execution."""
+
+    def __init__(self) -> None:
+        self.gprs: List[int] = [0] * NUM_GPRS
+        self.predicates: List[bool] = [False] * NUM_PREDICATES
+        self.predicates[PRED_TRUE] = True
+        self.memory: Dict[int, int] = {}
+        self.call_stack: List[int] = []
+
+    def read_gpr(self, index: int) -> int:
+        if index == GPR_ZERO:
+            return 0
+        return self.gprs[index]
+
+    def write_gpr(self, index: int, value: int) -> None:
+        if index == GPR_ZERO:
+            return  # r0 is hardwired to zero
+        self.gprs[index] = value & WORD_MASK
+
+    def read_predicate(self, index: int) -> bool:
+        if index == PRED_TRUE:
+            return True
+        return self.predicates[index]
+
+    def write_predicate(self, index: int, value: bool) -> None:
+        if index == PRED_TRUE:
+            return  # p0 is hardwired to true
+        self.predicates[index] = value
+
+    def load(self, address: int) -> int:
+        """Word load; unmapped addresses read as zero."""
+        return self.memory.get(address & ADDRESS_MASK, 0)
+
+    def store(self, address: int, value: int) -> None:
+        self.memory[address & ADDRESS_MASK] = value & WORD_MASK

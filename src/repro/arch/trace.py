@@ -1,0 +1,82 @@
+"""Committed-trace record types.
+
+A trace is a list of :class:`CommittedOp`, one per architecturally committed
+instruction (predicated-false instructions commit too — they occupy pipeline
+resources and are one of the paper's false-DUE categories — but have no
+architectural effect).
+
+``CommittedOp`` uses ``__slots__`` because traces run to hundreds of
+thousands of entries per experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.isa.instruction import Instruction
+
+
+class CommittedOp:
+    """One committed dynamic instruction."""
+
+    __slots__ = (
+        "seq",
+        "pc",
+        "instruction",
+        "executed",
+        "dest_gpr",
+        "dest_pred",
+        "src_gprs",
+        "mem_addr",
+        "is_store",
+        "is_load",
+        "branch_taken",
+        "next_pc",
+        "invocation",
+        "is_output",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        pc: int,
+        instruction: Instruction,
+        executed: bool,
+        dest_gpr: int = 0,
+        dest_pred: int = -1,
+        src_gprs: Tuple[int, ...] = (),
+        mem_addr: Optional[int] = None,
+        is_store: bool = False,
+        is_load: bool = False,
+        branch_taken: bool = False,
+        next_pc: int = 0,
+        invocation: int = 0,
+        is_output: bool = False,
+    ) -> None:
+        self.seq = seq
+        self.pc = pc
+        self.instruction = instruction
+        #: False when the qualifying predicate was false (nullified).
+        self.executed = executed
+        #: GPR written (0 = none; r0 writes are discarded and recorded as 0).
+        self.dest_gpr = dest_gpr
+        #: Predicate register written (-1 = none).
+        self.dest_pred = dest_pred
+        self.src_gprs = src_gprs
+        self.mem_addr = mem_addr
+        self.is_store = is_store
+        self.is_load = is_load
+        self.branch_taken = branch_taken
+        self.next_pc = next_pc
+        #: Function-invocation id (0 = main), for return-scoped deadness.
+        self.invocation = invocation
+        #: True for OUT instructions: the value becomes program output.
+        self.is_output = is_output
+
+    @property
+    def predicated_false(self) -> bool:
+        """Committed but nullified by a false qualifying predicate."""
+        return not self.executed
+
+    def __repr__(self) -> str:
+        return f"CommittedOp(seq={self.seq}, pc={self.pc}, {self.instruction})"

@@ -1,0 +1,40 @@
+"""Architectural vulnerability factor (AVF) computation — paper Section 2.
+
+``ace`` holds the per-bit ACE rules for each occupant class; ``occupancy``
+integrates classified bit-time over the pipeline's IQ occupancy intervals;
+``avf_calc`` packages the result as SDC / DUE AVFs with the false-DUE
+category decomposition; ``mitf`` implements the FIT/MTTF/MITF algebra,
+including the paper's new Mean-Instructions-To-Failure metric.
+"""
+
+from repro.avf.ace import BitWeights, bit_weights_for
+from repro.avf.avf_calc import IqAvfReport, compute_iq_avf
+from repro.avf.mitf import (
+    FIT_PER_MTBF_YEAR,
+    SoftErrorRateModel,
+    fit_from_mttf_years,
+    mitf,
+    mitf_ratio,
+    mttf_years_from_fit,
+)
+from repro.avf.occupancy import (
+    AccountingPolicy,
+    OccupancyBreakdown,
+    compute_breakdown,
+)
+
+__all__ = [
+    "BitWeights",
+    "bit_weights_for",
+    "IqAvfReport",
+    "compute_iq_avf",
+    "FIT_PER_MTBF_YEAR",
+    "SoftErrorRateModel",
+    "fit_from_mttf_years",
+    "mitf",
+    "mitf_ratio",
+    "mttf_years_from_fit",
+    "AccountingPolicy",
+    "OccupancyBreakdown",
+    "compute_breakdown",
+]

@@ -1,0 +1,93 @@
+"""Per-bit ACE rules for instruction-queue occupants.
+
+The paper's Section 4.1 rules, applied to the 41-bit REPRO-64 syllable:
+
+* a **live** (ACE) instruction: every bit is ACE while it awaits issue;
+* a **neutral** instruction (no-op / prefetch / hint): only the 7 opcode
+  bits are ACE — "faults in bits other than the opcode bits will not affect
+  a program's final outcome";
+* a **dynamically dead** instruction: only the 7 destination-specifier bits
+  are ACE — "a strike on any bit ... except the destination register
+  specifier bits, will not change the final outcome";
+* **wrong-path** and **predicated-false** instructions: nothing is ACE;
+* **squash victims** are refetched from protected storage, so their
+  residency cannot produce an error at all (and they are never read).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.deadcode import DynClass
+from repro.isa.encoding import ENCODING_BITS, OPCODE_BITS, R1_BITS
+from repro.pipeline.iq import OccupancyInterval, OccupantKind
+
+#: Category label used for wrong-path occupants (not a DynClass: wrong-path
+#: instructions never commit, so the trace analysis never sees them).
+WRONG_PATH_CATEGORY = "wrong_path"
+
+
+@dataclass(frozen=True)
+class BitWeights:
+    """How an occupant's 41 bits split between ACE and one un-ACE category."""
+
+    ace_bits: int
+    unace_bits: int
+    unace_category: Optional[str]  # None when unace_bits == 0
+
+    def __post_init__(self) -> None:
+        if self.ace_bits + self.unace_bits != ENCODING_BITS:
+            raise ValueError("bit weights must cover the whole encoding")
+        if (self.unace_bits > 0) != (self.unace_category is not None):
+            raise ValueError("unace_category must accompany unace_bits")
+
+
+_LIVE = BitWeights(ENCODING_BITS, 0, None)
+_NEUTRAL = BitWeights(OPCODE_BITS, ENCODING_BITS - OPCODE_BITS,
+                      DynClass.NEUTRAL.value)
+_PRED_FALSE = BitWeights(0, ENCODING_BITS, DynClass.PRED_FALSE.value)
+_WRONG_PATH = BitWeights(0, ENCODING_BITS, WRONG_PATH_CATEGORY)
+
+
+def _dead(cls: DynClass) -> BitWeights:
+    return BitWeights(R1_BITS, ENCODING_BITS - R1_BITS, cls.value)
+
+
+_BY_CLASS = {
+    DynClass.LIVE: _LIVE,
+    DynClass.NEUTRAL: _NEUTRAL,
+    DynClass.PRED_FALSE: _PRED_FALSE,
+    DynClass.FDD_REG: _dead(DynClass.FDD_REG),
+    DynClass.FDD_REG_RETURN: _dead(DynClass.FDD_REG_RETURN),
+    DynClass.TDD_REG: _dead(DynClass.TDD_REG),
+    DynClass.FDD_MEM: _dead(DynClass.FDD_MEM),
+    DynClass.TDD_MEM: _dead(DynClass.TDD_MEM),
+}
+
+
+def bit_weights_for(
+    interval: OccupancyInterval,
+    dyn_class: Optional[DynClass],
+    squash_victims_harmless: bool = False,
+) -> BitWeights:
+    """Bit weights for one IQ occupancy interval.
+
+    ``dyn_class`` is the trace classification of the occupant (None for
+    wrong-path occupants, which have no commit-sequence number).
+
+    ``squash_victims_harmless`` selects the accounting for exposure-squash
+    victims. A squashed instruction is refetched from protected storage, so
+    a strike on its pre-squash residency provably cannot cause an error;
+    the paper's conservative ACE methodology nevertheless counts that
+    residency by the occupant's own class (the squash gains it reports come
+    from the queue sitting *empty* during the miss shadow). The default
+    follows the paper; the harmless accounting is available as an ablation.
+    """
+    if interval.kind is OccupantKind.WRONG_PATH:
+        return _WRONG_PATH
+    if interval.kind is OccupantKind.SQUASHED and squash_victims_harmless:
+        return _WRONG_PATH
+    if dyn_class is None:
+        raise ValueError("committed interval requires its DynClass")
+    return _BY_CLASS[dyn_class]

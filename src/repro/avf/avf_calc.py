@@ -1,0 +1,79 @@
+"""Top-level AVF report for one benchmark run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.deadcode import DeadnessAnalysis
+from repro.avf.mitf import mitf_ratio
+from repro.avf.occupancy import (
+    AccountingPolicy,
+    OccupancyBreakdown,
+    compute_breakdown,
+)
+from repro.pipeline.result import PipelineResult
+
+
+@dataclass
+class IqAvfReport:
+    """IPC plus the instruction queue's SDC/DUE AVFs for one run."""
+
+    name: str
+    ipc: float
+    cycles: int
+    committed: int
+    breakdown: OccupancyBreakdown
+
+    @property
+    def sdc_avf(self) -> float:
+        return self.breakdown.sdc_avf
+
+    @property
+    def due_avf(self) -> float:
+        return self.breakdown.due_avf
+
+    @property
+    def false_due_avf(self) -> float:
+        return self.breakdown.false_due_avf
+
+    @property
+    def ipc_over_sdc_avf(self) -> float:
+        """SDC MITF figure of merit (Table 1's 'IPC / SDC AVF')."""
+        return mitf_ratio(self.ipc, self.sdc_avf)
+
+    @property
+    def ipc_over_due_avf(self) -> float:
+        """DUE MITF figure of merit (Table 1's 'IPC / DUE AVF')."""
+        return mitf_ratio(self.ipc, self.due_avf)
+
+    def false_due_components(self) -> Dict[str, float]:
+        return self.breakdown.false_due_components()
+
+    def residency_summary(self) -> Dict[str, float]:
+        """The Section 4.1 decomposition of entry-state time."""
+        b = self.breakdown
+        return {
+            "idle": b.idle_fraction,
+            "ace": b.sdc_avf,
+            "valid_unace": b.false_due_avf,
+            "ex_ace": b.ex_ace_fraction,
+            "unread": b.unread_fraction,
+        }
+
+
+def compute_iq_avf(
+    name: str,
+    result: PipelineResult,
+    deadness: Optional[DeadnessAnalysis],
+    policy: AccountingPolicy = AccountingPolicy.CONSERVATIVE,
+) -> IqAvfReport:
+    """Build the AVF report for one pipeline run."""
+    breakdown = compute_breakdown(result, deadness, policy)
+    return IqAvfReport(
+        name=name,
+        ipc=result.ipc,
+        cycles=result.cycles,
+        committed=result.committed,
+        breakdown=breakdown,
+    )

@@ -1,0 +1,111 @@
+"""Chip-level soft-error budgeting (paper Section 2).
+
+Vendors specify separate SDC and DUE rate targets for a whole processor
+(the paper cites Bossen's IRPS tutorial [4]; a commonly quoted pair is a
+1000-year SDC MTBF and a 10-25-year DUE MTBF). The chip-level rates are
+sums over structures of raw rate x AVF:
+
+    SDC rate = sum_d  error_rate_d x SDC_AVF_d
+    DUE rate = sum_d  error_rate_d x DUE_AVF_d
+
+This module composes per-structure contributions into a budget check, so
+the instruction-queue AVF reductions of this paper can be placed in a
+whole-chip context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.avf.mitf import mttf_years_from_fit
+
+
+@dataclass(frozen=True)
+class StructureContribution:
+    """One protected-or-not storage structure on the chip."""
+
+    name: str
+    bits: int
+    raw_fit_per_bit: float
+    #: AVF of the unprotected structure (drives SDC when unprotected).
+    sdc_avf: float
+    #: DUE AVF when the structure has detection-only protection
+    #: (0 for unprotected or fully corrected structures).
+    due_avf: float = 0.0
+    #: True when the structure has error detection (parity): its SDC
+    #: contribution is then zero and its DUE contribution is due_avf.
+    detected: bool = False
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0 or self.raw_fit_per_bit <= 0:
+            raise ValueError(f"{self.name}: bits and raw rate must be positive")
+        for label, value in (("sdc_avf", self.sdc_avf),
+                             ("due_avf", self.due_avf)):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{self.name}: {label} out of [0, 1]")
+
+    @property
+    def raw_fit(self) -> float:
+        return self.bits * self.raw_fit_per_bit
+
+    @property
+    def sdc_fit(self) -> float:
+        return 0.0 if self.detected else self.raw_fit * self.sdc_avf
+
+    @property
+    def due_fit(self) -> float:
+        return self.raw_fit * self.due_avf if self.detected else 0.0
+
+
+@dataclass
+class ChipBudget:
+    """Aggregates structures against SDC/DUE MTTF targets (in years)."""
+
+    sdc_mttf_target_years: float = 1000.0
+    due_mttf_target_years: float = 25.0
+    structures: List[StructureContribution] = field(default_factory=list)
+
+    def add(self, structure: StructureContribution) -> None:
+        if any(s.name == structure.name for s in self.structures):
+            raise ValueError(f"duplicate structure {structure.name!r}")
+        self.structures.append(structure)
+
+    @property
+    def sdc_fit(self) -> float:
+        return sum(s.sdc_fit for s in self.structures)
+
+    @property
+    def due_fit(self) -> float:
+        return sum(s.due_fit for s in self.structures)
+
+    def sdc_mttf_years(self) -> float:
+        if self.sdc_fit == 0.0:
+            return float("inf")
+        return mttf_years_from_fit(self.sdc_fit)
+
+    def due_mttf_years(self) -> float:
+        if self.due_fit == 0.0:
+            return float("inf")
+        return mttf_years_from_fit(self.due_fit)
+
+    def meets_sdc_target(self) -> bool:
+        return self.sdc_mttf_years() >= self.sdc_mttf_target_years
+
+    def meets_due_target(self) -> bool:
+        return self.due_mttf_years() >= self.due_mttf_target_years
+
+    def headroom(self) -> Dict[str, float]:
+        """MTTF / target ratios (>= 1.0 means the budget is met)."""
+        return {
+            "sdc": self.sdc_mttf_years() / self.sdc_mttf_target_years,
+            "due": self.due_mttf_years() / self.due_mttf_target_years,
+        }
+
+    def dominant_contributor(self, kind: str = "sdc") -> Optional[str]:
+        """Structure contributing the most FIT of the given kind."""
+        key = {"sdc": lambda s: s.sdc_fit, "due": lambda s: s.due_fit}[kind]
+        contributors = [s for s in self.structures if key(s) > 0]
+        if not contributors:
+            return None
+        return max(contributors, key=key).name

@@ -1,0 +1,141 @@
+"""Command-line interface: regenerate any paper exhibit.
+
+Usage::
+
+    python -m repro table1 --instructions 60000
+    python -m repro figure2 --profiles 8
+    python -m repro figure1 --trials 500
+    python -m repro all --profiles 6 --instructions 20000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import (
+    ablations,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    occupancy,
+    regfile,
+    table1,
+    table2,
+)
+from repro.experiments.common import ExperimentSettings
+from repro.workloads.spec2000 import ALL_PROFILES
+
+
+def _select_profiles(count: Optional[int]):
+    if count is None or count >= len(ALL_PROFILES):
+        return list(ALL_PROFILES)
+    step = max(1, len(ALL_PROFILES) // count)
+    return ALL_PROFILES[::step][:count]
+
+
+def _exhibit_runners(args) -> Dict[str, Callable[[], str]]:
+    settings = ExperimentSettings(target_instructions=args.instructions,
+                                  seed=args.seed)
+    profiles = _select_profiles(args.profiles)
+    return {
+        "table1": lambda: table1.format_result(
+            table1.run(settings, profiles)),
+        "table2": lambda: table2.format_result(),
+        "occupancy": lambda: occupancy.format_result(
+            occupancy.run(settings, profiles)),
+        "figure1": lambda: figure1.format_result(
+            figure1.run(settings, trials=args.trials)),
+        "figure2": lambda: figure2.format_result(
+            figure2.run(settings, profiles)),
+        "figure3": lambda: figure3.format_result(
+            figure3.run(settings, profiles)),
+        "figure4": lambda: figure4.format_result(
+            figure4.run(settings, profiles)),
+        "ablations": lambda: "\n\n".join(
+            ablations.format_result(fn(settings, profiles))
+            for fn in (ablations.accounting_policy,
+                       ablations.refetch_policy,
+                       ablations.squash_vs_throttle,
+                       ablations.issue_policy_contrast,
+                       ablations.queue_size_sweep)),
+        "regfile": lambda: regfile.format_result(
+            regfile.run(settings, profiles)),
+        "characterize": lambda: _characterize(settings, profiles),
+        "report": lambda: _benchmark_report(args, settings),
+    }
+
+
+def _characterize(settings: ExperimentSettings, profiles) -> str:
+    from repro.workloads.characterize import (
+        characterize,
+        format_characterization,
+    )
+
+    return format_characterization(characterize(settings, profiles))
+
+
+def _benchmark_report(args, settings: ExperimentSettings) -> str:
+    from repro.analysis.report import benchmark_report
+    from repro.experiments.common import run_benchmark
+    from repro.pipeline.config import Trigger
+    from repro.workloads.spec2000 import get_profile
+
+    run = run_benchmark(get_profile(args.benchmark), settings, Trigger.NONE)
+    return benchmark_report(run, injection_trials=args.trials,
+                            seed=args.seed)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate exhibits from Weaver et al., ISCA 2004 "
+                    "('Techniques to Reduce the Soft Error Rate of a "
+                    "High-Performance Microprocessor').",
+    )
+    parser.add_argument(
+        "exhibit",
+        choices=["table1", "table2", "occupancy", "figure1", "figure2",
+                 "figure3", "figure4", "ablations", "regfile",
+                 "characterize", "report", "all"],
+        help="which exhibit to regenerate ('all' runs every paper exhibit)")
+    parser.add_argument(
+        "--benchmark", default="crafty",
+        help="benchmark name for the 'report' dossier (default crafty)")
+    parser.add_argument(
+        "--instructions", type=int, default=60_000,
+        help="dynamic instructions per benchmark trace (default 60000)")
+    parser.add_argument(
+        "--profiles", type=int, default=None,
+        help="number of benchmark profiles (default: all 26)")
+    parser.add_argument(
+        "--trials", type=int, default=400,
+        help="fault-injection trials for figure1 (default 400)")
+    parser.add_argument(
+        "--seed", type=int, default=2004,
+        help="root seed for deterministic replay (default 2004)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    runners = _exhibit_runners(args)
+    if args.exhibit == "all":
+        names = ["table1", "table2", "occupancy", "figure1", "figure2",
+                 "figure3", "figure4"]
+    else:
+        names = [args.exhibit]
+    for name in names:
+        started = time.time()
+        text = runners[name]()
+        elapsed = time.time() - started
+        print(text)
+        print(f"\n[{name} regenerated in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""False-DUE tracking mechanisms (paper Section 4).
+
+* ``tracking`` — the cumulative ladder of mechanisms (π bit to commit,
+  anti-π bit, PET buffer, register-file π, store-buffer π, memory π) and
+  the analytic DUE-AVF they leave behind.
+* ``pet`` — the Post-commit Error Tracking buffer: both the real FIFO
+  mechanism and the analytic coverage-vs-size curves of Figure 3.
+* ``pi_bit`` — a mechanistic π-bit propagation engine that decides, for a
+  concrete detected error on a concrete dynamic instruction, whether a
+  machine-check is signalled under each tracking level.
+* ``anti_pi`` — the decode-time anti-π classification.
+* ``outcomes`` — the Figure-1 fault-outcome taxonomy.
+"""
+
+from repro.due.anti_pi import anti_pi_bit
+from repro.due.outcomes import FaultOutcome
+from repro.due.pet import PetBuffer, pet_coverage_by_size
+from repro.due.pi_bit import PiBitTracker, SignalDecision
+from repro.due.tracking import (
+    TRACKING_LADDER,
+    TrackingLevel,
+    covered_categories,
+    due_avf_with_tracking,
+    false_due_coverage,
+    residual_false_due,
+)
+
+__all__ = [
+    "anti_pi_bit",
+    "FaultOutcome",
+    "PetBuffer",
+    "pet_coverage_by_size",
+    "PiBitTracker",
+    "SignalDecision",
+    "TRACKING_LADDER",
+    "TrackingLevel",
+    "covered_categories",
+    "due_avf_with_tracking",
+    "false_due_coverage",
+    "residual_false_due",
+]

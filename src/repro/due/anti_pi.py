@@ -1,0 +1,35 @@
+"""The anti-π bit (paper Section 4.3.2).
+
+The anti-π bit is attached to every instruction at decode: set for neutral
+instruction types (no-ops, prefetches, branch-prediction hints), clear
+otherwise. When the instruction queue detects a parity error on the
+*non-opcode* bits of an entry whose anti-π bit is set, it suppresses the
+π bit — such a fault can never matter.
+
+Decoding again at retire would avoid storing the bit but would force the
+entry to be read after its last issue, pulling the Ex-ACE residency into
+the false-DUE window (the paper's 33 % -> 41 % example); the experiment
+module carries that ablation.
+"""
+
+from __future__ import annotations
+
+from repro.isa.encoding import Field, field_at_bit
+from repro.isa.instruction import Instruction
+
+
+def anti_pi_bit(instruction: Instruction) -> bool:
+    """Decode-time anti-π classification: True for neutral instructions."""
+    return instruction.is_neutral
+
+
+def anti_pi_suppresses(instruction: Instruction, struck_bit: int) -> bool:
+    """Would the anti-π bit suppress a parity error on ``struck_bit``?
+
+    Suppression applies only to non-opcode bits of neutral instructions:
+    an opcode-bit strike could have turned the no-op into something real,
+    so it must still be flagged.
+    """
+    if not anti_pi_bit(instruction):
+        return False
+    return field_at_bit(struck_bit) is not Field.OPCODE

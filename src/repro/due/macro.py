@@ -1,0 +1,76 @@
+"""Macro-level redundancy schemes and their false-DUE exposure (Section 7).
+
+The paper closes by observing that false DUE events also afflict
+macro-level detection:
+
+* **cycle-by-cycle lockstepping** compares *everything* every cycle, so a
+  strike on architecturally benign state — a branch-predictor bit, a
+  wrong-path instruction, a dead value — diverges the lockstep pair and
+  raises a false error;
+* **RMT comparing every instruction** ignores mis-speculation (it compares
+  committed instructions), but still false-errors on dynamically dead
+  instructions;
+* **RMT comparing only stores/outputs** (the usual design) only signals
+  when corrupted data would leave the sphere of replication — dead values
+  never reach the comparator.
+
+This module maps each scheme to the un-ACE categories it falsely signals
+on and evaluates the resulting false-DUE AVF over an instruction-queue
+breakdown, quantifying the paper's qualitative ranking.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, unique
+from typing import Dict, FrozenSet
+
+from repro.analysis.deadcode import DynClass
+from repro.avf.ace import WRONG_PATH_CATEGORY
+from repro.avf.occupancy import OccupancyBreakdown
+
+_DEAD = frozenset({
+    DynClass.FDD_REG.value, DynClass.FDD_REG_RETURN.value,
+    DynClass.TDD_REG.value, DynClass.FDD_MEM.value, DynClass.TDD_MEM.value,
+})
+
+
+@unique
+class RedundancyScheme(Enum):
+    """Macro-level fault-detection schemes compared in Section 7."""
+
+    #: Cycle-by-cycle lockstep: any microarchitectural divergence signals.
+    LOCKSTEP = "lockstep"
+    #: Redundant multithreading comparing every committed instruction.
+    RMT_ALL_INSTRUCTIONS = "rmt_all"
+    #: Redundant multithreading comparing only stores and I/O.
+    RMT_OUTPUTS_ONLY = "rmt_outputs"
+
+
+#: Un-ACE categories each scheme falsely signals on. Lockstep adds the
+#: wrong path (divergent fetch streams) and predication noise on top of
+#: dead values; committed-instruction RMT drops the speculation-related
+#: categories; output-comparing RMT drops the register-tracked dead ones
+#: too (dead values never reach a store or I/O comparator). Neutral
+#: instructions never execute differently, so no scheme signals on them.
+FALSE_SIGNAL_CATEGORIES: Dict[RedundancyScheme, FrozenSet[str]] = {
+    RedundancyScheme.LOCKSTEP: frozenset(
+        {WRONG_PATH_CATEGORY, DynClass.PRED_FALSE.value}) | _DEAD,
+    RedundancyScheme.RMT_ALL_INSTRUCTIONS: _DEAD,
+    RedundancyScheme.RMT_OUTPUTS_ONLY: frozenset(
+        {DynClass.FDD_MEM.value, DynClass.TDD_MEM.value}),
+}
+
+
+def false_due_avf(breakdown: OccupancyBreakdown,
+                  scheme: RedundancyScheme) -> float:
+    """False-DUE AVF the scheme would exhibit over this IQ breakdown."""
+    categories = FALSE_SIGNAL_CATEGORIES[scheme]
+    return sum(value for name, value
+               in breakdown.false_due_components().items()
+               if name in categories)
+
+
+def compare_schemes(breakdown: OccupancyBreakdown) -> Dict[str, float]:
+    """False-DUE AVF per scheme, for reporting."""
+    return {scheme.value: false_due_avf(breakdown, scheme)
+            for scheme in RedundancyScheme}

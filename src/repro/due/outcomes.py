@@ -1,0 +1,52 @@
+"""Figure 1's classification of single-bit fault outcomes."""
+
+from __future__ import annotations
+
+from enum import Enum, unique
+
+
+@unique
+class FaultOutcome(Enum):
+    """Possible outcomes of a single-bit fault in a storage structure.
+
+    Numbers follow the paper's Figure 1:
+
+    1. ``BENIGN_UNREAD`` — the faulted bit is never read (idle entry,
+       Ex-ACE tail, never-issued occupant): no error.
+    2. ``BENIGN_UNACE`` — the bit is read but does not matter (un-ACE
+       state: wrong path, neutral, dead, ...): no error.
+    3. ``CORRECTED`` — read, matters, but protected by error *correction*
+       (not deployed on the paper's instruction queue; listed for
+       completeness).
+    4. ``SDC`` — read, matters, no detection: silent data corruption.
+    5. ``FALSE_DUE`` — detection fired, but the value would not have
+       affected the outcome: a benign detected unrecoverable error.
+    6. ``TRUE_DUE`` — detection fired and the value would have affected
+       the outcome.
+
+    Our executable substrate adds two refinements of outcome 4 that the
+    paper's analytical model folds into SDC: a corrupted instruction can
+    *trap* (illegal opcode, wild control transfer) or *hang* (runaway
+    execution) instead of silently corrupting output. Fault-injection
+    reports keep them distinct.
+    """
+
+    BENIGN_UNREAD = "benign_unread"
+    BENIGN_UNACE = "benign_unace"
+    CORRECTED = "corrected"
+    SDC = "sdc"
+    FALSE_DUE = "false_due"
+    TRUE_DUE = "true_due"
+    TRAP = "trap"
+    HANG = "hang"
+
+    @property
+    def is_error(self) -> bool:
+        """True when a user-visible failure (of any kind) occurred."""
+        return self in (FaultOutcome.SDC, FaultOutcome.FALSE_DUE,
+                        FaultOutcome.TRUE_DUE, FaultOutcome.TRAP,
+                        FaultOutcome.HANG)
+
+    @property
+    def is_benign(self) -> bool:
+        return not self.is_error

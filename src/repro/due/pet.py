@@ -1,0 +1,160 @@
+"""The Post-commit Error Tracking (PET) buffer (paper Section 4.3.3).
+
+The PET buffer is a FIFO log of retired instructions and their π bits.
+When a π-set instruction is evicted, the hardware scans the (newer)
+buffered instructions: if the evictee's result was overwritten before any
+intervening read, the instruction was first-level dynamically dead and the
+error is provably false — no machine check is raised. Otherwise the error
+must be signalled.
+
+Two views are provided:
+
+* :class:`PetBuffer` — the mechanism itself, driven by the commit stream;
+* :func:`pet_coverage_by_size` — the analytic coverage curves of Figure 3,
+  derived from overwrite distances (a retired instruction's overwriter must
+  still be in the buffer when the evictee's scan runs, i.e. the overwrite
+  must land within ``entries`` subsequent commits).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.deadcode import DeadnessAnalysis, DynClass
+from repro.arch.trace import CommittedOp
+
+
+@dataclass(frozen=True)
+class PetDecision:
+    """Outcome of evicting one π-set instruction."""
+
+    seq: int
+    signal: bool
+    reason: str
+
+
+class PetBuffer:
+    """FIFO post-commit log with π-bit resolution at eviction."""
+
+    def __init__(self, entries: int = 512, track_memory: bool = False) -> None:
+        if entries <= 0:
+            raise ValueError("PET buffer needs at least one entry")
+        self.entries = entries
+        #: When True, store results are also tracked (the Figure 3
+        #: "+ FDD via memory" extension); the base design tracks registers.
+        self.track_memory = track_memory
+        self._fifo: deque = deque()
+        self.decisions: List[PetDecision] = []
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    def retire(self, op: CommittedOp, pi_set: bool) -> Optional[PetDecision]:
+        """Log a retiring instruction; resolve the evictee if one falls out."""
+        self._fifo.append((op, pi_set))
+        if len(self._fifo) <= self.entries:
+            return None
+        evicted, evicted_pi = self._fifo.popleft()
+        if not evicted_pi:
+            return None
+        decision = self._resolve(evicted)
+        self.decisions.append(decision)
+        return decision
+
+    def drain(self) -> List[PetDecision]:
+        """End of execution: π-set entries still buffered resolve in place.
+
+        An entry whose death is already provable from the remaining buffer
+        contents is suppressed; anything else must be signalled (the
+        machine cannot wait forever).
+        """
+        results = []
+        while self._fifo:
+            evicted, evicted_pi = self._fifo.popleft()
+            if evicted_pi:
+                decision = self._resolve(evicted)
+                self.decisions.append(decision)
+                results.append(decision)
+        return results
+
+    # -- the eviction scan -----------------------------------------------------
+
+    def _resolve(self, evicted: CommittedOp) -> PetDecision:
+        resource = self._resource_of(evicted)
+        if resource is None:
+            return PetDecision(evicted.seq, True, "no trackable result")
+        for op, _pi in self._fifo:
+            if self._reads(op, resource):
+                return PetDecision(evicted.seq, True, "result was read")
+            if self._writes(op, resource):
+                return PetDecision(evicted.seq, False,
+                                   "overwritten before any read (FDD)")
+        return PetDecision(evicted.seq, True, "no overwrite in buffer")
+
+    def _resource_of(self, op: CommittedOp) -> Optional[Tuple[str, int]]:
+        if op.executed and op.dest_gpr:
+            return ("gpr", op.dest_gpr)
+        if op.executed and op.dest_pred >= 0:
+            return ("pred", op.dest_pred)
+        if self.track_memory and op.is_store and op.mem_addr is not None:
+            return ("mem", op.mem_addr)
+        return None
+
+    @staticmethod
+    def _reads(op: CommittedOp, resource: Tuple[str, int]) -> bool:
+        kind, ident = resource
+        if kind == "gpr":
+            return ident in op.src_gprs
+        if kind == "pred":
+            return op.instruction.qp == ident
+        return op.is_load and op.mem_addr == ident
+
+    @staticmethod
+    def _writes(op: CommittedOp, resource: Tuple[str, int]) -> bool:
+        if not op.executed:
+            return False
+        kind, ident = resource
+        if kind == "gpr":
+            return op.dest_gpr == ident
+        if kind == "pred":
+            return op.dest_pred == ident
+        return op.is_store and op.mem_addr == ident
+
+
+#: Figure 3's sweep of buffer sizes (powers of two, 16 .. 16384).
+DEFAULT_PET_SIZES = tuple(2 ** k for k in range(4, 15))
+
+
+def pet_coverage_by_size(
+    deadness: DeadnessAnalysis,
+    sizes: Sequence[int] = DEFAULT_PET_SIZES,
+    classes: Iterable[DynClass] = (DynClass.FDD_REG,),
+    denominator_classes: Optional[Iterable[DynClass]] = None,
+) -> Dict[int, float]:
+    """Analytic PET coverage (instruction counts) per buffer size.
+
+    ``classes`` selects which FDD categories the buffer variant tracks;
+    ``denominator_classes`` (default: same as ``classes``) sets the
+    population coverage is reported against, which lets Figure 3's three
+    series share one denominator and nest cumulatively.
+    """
+    classes = frozenset(classes)
+    denominator = frozenset(denominator_classes or classes)
+    distances = []
+    total = 0
+    for seq, cls in enumerate(deadness.classes):
+        if cls in denominator:
+            total += 1
+        if cls in classes:
+            distance = deadness.overwrite_distance.get(seq)
+            if distance is not None:
+                distances.append(distance)
+    coverage = {}
+    for size in sizes:
+        if size <= 0:
+            raise ValueError("PET sizes must be positive")
+        covered = sum(1 for d in distances if d <= size)
+        coverage[size] = covered / total if total else 0.0
+    return coverage

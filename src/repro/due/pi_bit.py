@@ -1,0 +1,227 @@
+"""Mechanistic π-bit propagation (paper Sections 4.2-4.3).
+
+Given a *concrete* detected error — "parity fired when the instruction
+queue entry holding committed instruction ``seq`` was read" — this engine
+decides whether hardware at a given :class:`TrackingLevel` would signal a
+machine check, and where. It implements the actual mechanisms:
+
+* at ``PI_COMMIT``, the retire unit ignores π on uncommitted-result
+  instructions (predicated-false here; wrong-path occupants never reach
+  this engine because they never commit);
+* at ``ANTI_PI``, decode-time anti-π suppresses non-opcode faults on
+  neutral instructions;
+* at ``PET``, the evicted π rides the Post-commit Error Tracking scan;
+* at ``REG_PI``, π transfers to the destination register and signals on
+  the first read (overwrite-before-read proves the error false);
+* at ``STORE_PI``, readers OR source π into their own π and carry it on;
+  the error signals only when a poisoned value reaches a store, an OUT,
+  or a control decision ("interacts with the memory system or I/O");
+* at ``MEM_PI``, stores transfer π onto memory words and loads pick it
+  back up; only an OUT (I/O) with poisoned data signals.
+
+The engine is deliberately independent of the dead-code *analysis*: tests
+cross-validate the two (e.g. a fault on a TDD-via-registers instruction
+must signal at ``REG_PI`` but stay silent at ``STORE_PI``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from repro.arch.trace import CommittedOp
+from repro.due.anti_pi import anti_pi_suppresses
+from repro.due.pet import PetBuffer
+from repro.due.tracking import DEFAULT_PET_ENTRIES, TrackingLevel
+from repro.isa.encoding import Field, field_bits
+from repro.isa.opcodes import InstrClass
+
+_CONTROL = (InstrClass.BRANCH, InstrClass.CALL, InstrClass.RET)
+
+#: A representative non-opcode bit, used when the caller does not care
+#: which physical bit was struck.
+_DEFAULT_STRUCK_BIT = next(iter(field_bits(Field.R3)))
+
+
+@dataclass(frozen=True)
+class SignalDecision:
+    """Whether (and where) the hardware raises a machine check."""
+
+    signaled: bool
+    at_seq: Optional[int]
+    reason: str
+
+
+class PiBitTracker:
+    """Decides the fate of one detected error under one tracking level."""
+
+    def __init__(
+        self,
+        trace: List[CommittedOp],
+        level: TrackingLevel,
+        pet_entries: int = DEFAULT_PET_ENTRIES,
+    ) -> None:
+        self.trace = trace
+        self.level = level
+        self.pet_entries = pet_entries
+
+    def process_fault(
+        self, seq: int, struck_bit: Optional[int] = None
+    ) -> SignalDecision:
+        """Trace the π bit of a parity error on committed instruction ``seq``."""
+        if not 0 <= seq < len(self.trace):
+            raise ValueError(f"seq {seq} outside trace")
+        if struck_bit is None:
+            struck_bit = _DEFAULT_STRUCK_BIT
+        op = self.trace[seq]
+        level = self.level
+
+        if level is TrackingLevel.PARITY_ONLY:
+            return SignalDecision(True, seq, "parity error signalled at read")
+
+        # π set instead of signalling; decisions defer to the commit point.
+        if op.predicated_false:
+            return SignalDecision(
+                False, None, "retire unit ignores π: predicated false")
+        if (level >= TrackingLevel.ANTI_PI
+                and anti_pi_suppresses(op.instruction, struck_bit)):
+            return SignalDecision(
+                False, None, "anti-π: neutral instruction, non-opcode bit")
+        if level <= TrackingLevel.ANTI_PI:
+            return SignalDecision(True, seq, "π set at commit point")
+        if level is TrackingLevel.PET:
+            return self._pet(seq)
+        if level is TrackingLevel.REG_PI:
+            return self._register_pi(seq)
+        return self._propagating_pi(seq, through_memory=(
+            level is TrackingLevel.MEM_PI))
+
+    # -- PET ---------------------------------------------------------------
+
+    def _pet(self, seq: int) -> SignalDecision:
+        buffer = PetBuffer(self.pet_entries)
+        horizon = min(len(self.trace), seq + self.pet_entries + 1)
+        for op in self.trace[seq:horizon]:
+            decision = buffer.retire(op, pi_set=(op.seq == seq))
+            if decision is not None and decision.seq == seq:
+                return SignalDecision(decision.signal, decision.seq,
+                                      f"PET: {decision.reason}")
+        for decision in buffer.drain():
+            if decision.seq == seq:
+                return SignalDecision(decision.signal, decision.seq,
+                                      f"PET drain: {decision.reason}")
+        raise AssertionError("PET never resolved the faulted instruction")
+
+    # -- register-file π ------------------------------------------------------
+
+    def _register_pi(self, seq: int) -> SignalDecision:
+        op = self.trace[seq]
+        if not (op.dest_gpr or op.dest_pred >= 0):
+            return SignalDecision(
+                True, seq, "π out of scope: no destination register")
+        dest_gpr = op.dest_gpr
+        dest_pred = op.dest_pred
+        for later in self.trace[seq + 1:]:
+            if dest_gpr and dest_gpr in later.src_gprs:
+                return SignalDecision(True, later.seq,
+                                      "poisoned register read")
+            if dest_pred >= 0 and later.instruction.qp == dest_pred:
+                return SignalDecision(True, later.seq,
+                                      "poisoned predicate read")
+            if later.executed and dest_gpr and later.dest_gpr == dest_gpr:
+                return SignalDecision(False, None,
+                                      "register overwritten before read (FDD)")
+            if later.executed and dest_pred >= 0 \
+                    and later.dest_pred == dest_pred:
+                return SignalDecision(False, None,
+                                      "predicate overwritten before read (FDD)")
+        return SignalDecision(False, None, "never read again before exit")
+
+    # -- pipeline-wide / memory-wide π -----------------------------------------
+
+    def _propagating_pi(self, seq: int, through_memory: bool) -> SignalDecision:
+        op = self.trace[seq]
+        poisoned_gprs: Set[int] = set()
+        poisoned_preds: Set[int] = set()
+        poisoned_mem: Set[int] = set()
+
+        first = self._absorb(op, poisoned_gprs, poisoned_preds, poisoned_mem,
+                             through_memory, initial=True)
+        if first is not None:
+            return first
+        if not (poisoned_gprs or poisoned_preds or poisoned_mem):
+            return SignalDecision(False, None, "π vanished at the source")
+
+        for later in self.trace[seq + 1:]:
+            decision = self._absorb(later, poisoned_gprs, poisoned_preds,
+                                    poisoned_mem, through_memory,
+                                    initial=False)
+            if decision is not None:
+                return decision
+            if not (poisoned_gprs or poisoned_preds or poisoned_mem):
+                return SignalDecision(False, None,
+                                      "all poisoned state overwritten clean")
+        return SignalDecision(False, None,
+                              "poison never reached memory or I/O")
+
+    def _absorb(
+        self,
+        op: CommittedOp,
+        gprs: Set[int],
+        preds: Set[int],
+        mem: Set[int],
+        through_memory: bool,
+        initial: bool,
+    ) -> Optional[SignalDecision]:
+        """Process one committed op against the poison sets.
+
+        Returns a decision when the op forces a signal; mutates the poison
+        sets otherwise. ``initial=True`` seeds the poison from the faulted
+        instruction itself.
+        """
+        instruction = op.instruction
+        if initial:
+            reads_poison = True  # the faulted instruction *is* the poison
+        else:
+            if instruction.qp in preds and not instruction.is_neutral:
+                # A qp read is a nullification decision: a poisoned
+                # predicate may have silently changed control behaviour,
+                # and nothing downstream carries that — signal now.
+                return SignalDecision(True, op.seq,
+                                      "poisoned predication decision")
+            reads_poison = (
+                any(r in gprs for r in op.src_gprs)
+                or (op.is_load and op.mem_addr in mem)
+            )
+
+        if reads_poison:
+            if instruction.instr_class in _CONTROL:
+                return SignalDecision(True, op.seq,
+                                      "poisoned control decision")
+            if op.is_output:
+                return SignalDecision(True, op.seq, "poisoned I/O output")
+            if op.is_store:
+                if through_memory:
+                    mem.add(op.mem_addr)
+                    return None
+                return SignalDecision(True, op.seq,
+                                      "poisoned store commits to memory")
+            if op.executed and op.dest_gpr:
+                gprs.add(op.dest_gpr)
+            elif op.executed and op.dest_pred >= 0:
+                preds.add(op.dest_pred)
+            elif initial and not op.executed:
+                # Predicated-false faulted op: handled by the retire unit
+                # before this engine; nothing to poison.
+                pass
+            return None
+
+        # Clean op: overwrites scrub poison.
+        if op.executed:
+            if op.dest_gpr:
+                gprs.discard(op.dest_gpr)
+            if op.dest_pred >= 0:
+                preds.discard(op.dest_pred)
+            if op.is_store and op.mem_addr in mem:
+                mem.discard(op.mem_addr)
+        return None

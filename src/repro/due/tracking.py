@@ -1,0 +1,125 @@
+"""The cumulative tracking ladder and its analytic DUE-AVF effect.
+
+The paper's Section 4.3 mechanisms compose cumulatively — each level keeps
+everything below it:
+
+====================  ======================================================
+level                 newly covered false-DUE source
+====================  ======================================================
+``PARITY_ONLY``       nothing: every detected error is signalled
+``PI_COMMIT``         wrong-path and predicated-false instructions
+``ANTI_PI``           neutral instructions (non-opcode bits)
+``PET``               FDD-via-registers whose overwrite lands in the buffer
+``REG_PI``            all FDD-via-registers (including via returns)
+``STORE_PI``          TDD-via-registers (π carried to the store commit)
+``MEM_PI``            FDD/TDD tracked via memory (π on caches and memory)
+====================  ======================================================
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum, unique
+from typing import Dict, FrozenSet
+
+from repro.analysis.deadcode import DynClass
+from repro.avf.ace import WRONG_PATH_CATEGORY
+from repro.avf.occupancy import OccupancyBreakdown
+
+#: Default PET buffer size used throughout the paper's evaluation.
+DEFAULT_PET_ENTRIES = 512
+
+
+@unique
+class TrackingLevel(IntEnum):
+    """Cumulative false-DUE tracking configurations."""
+
+    PARITY_ONLY = 0
+    PI_COMMIT = 1
+    ANTI_PI = 2
+    PET = 3
+    REG_PI = 4
+    STORE_PI = 5
+    MEM_PI = 6
+
+
+#: The ladder in coverage order (useful for sweeps).
+TRACKING_LADDER = tuple(TrackingLevel)
+
+_NEW_COVERAGE: Dict[TrackingLevel, FrozenSet[str]] = {
+    TrackingLevel.PARITY_ONLY: frozenset(),
+    TrackingLevel.PI_COMMIT: frozenset(
+        {WRONG_PATH_CATEGORY, DynClass.PRED_FALSE.value}),
+    TrackingLevel.ANTI_PI: frozenset({DynClass.NEUTRAL.value}),
+    TrackingLevel.PET: frozenset(),  # partial coverage, handled specially
+    TrackingLevel.REG_PI: frozenset(
+        {DynClass.FDD_REG.value, DynClass.FDD_REG_RETURN.value}),
+    TrackingLevel.STORE_PI: frozenset({DynClass.TDD_REG.value}),
+    TrackingLevel.MEM_PI: frozenset(
+        {DynClass.FDD_MEM.value, DynClass.TDD_MEM.value}),
+}
+
+
+def covered_categories(level: TrackingLevel) -> FrozenSet[str]:
+    """All fully-covered false-DUE categories at ``level`` (cumulative).
+
+    PET coverage is partial (it depends on buffer size and the overwrite-
+    distance distribution) and is therefore not listed here; see
+    :func:`residual_false_due`.
+    """
+    covered: set = set()
+    for lvl in TrackingLevel:
+        if lvl > level:
+            break
+        covered |= _NEW_COVERAGE[lvl]
+    return frozenset(covered)
+
+
+def residual_false_due(
+    breakdown: OccupancyBreakdown,
+    level: TrackingLevel,
+    pet_entries: int = DEFAULT_PET_ENTRIES,
+) -> float:
+    """False-DUE AVF remaining once ``level`` is deployed.
+
+    At exactly ``TrackingLevel.PET``, the FDD-via-registers category is
+    reduced by the residency-weighted fraction of deaths the buffer can
+    prove (overwrite within ``pet_entries`` commits); higher levels
+    subsume it entirely.
+    """
+    covered = covered_categories(level)
+    residual = 0.0
+    components = breakdown.false_due_components()
+    for category, value in components.items():
+        if category in covered:
+            continue
+        if (level is TrackingLevel.PET
+                and category == DynClass.FDD_REG.value):
+            value *= 1.0 - breakdown.pet_covered_fraction(
+                pet_entries, classes=(DynClass.FDD_REG,))
+        residual += value
+    return residual
+
+
+def due_avf_with_tracking(
+    breakdown: OccupancyBreakdown,
+    level: TrackingLevel,
+    pet_entries: int = DEFAULT_PET_ENTRIES,
+) -> float:
+    """Total DUE AVF (true + residual false) at ``level``."""
+    return breakdown.true_due_avf + residual_false_due(
+        breakdown, level, pet_entries)
+
+
+def false_due_coverage(
+    breakdown: OccupancyBreakdown,
+    level: TrackingLevel,
+    pet_entries: int = DEFAULT_PET_ENTRIES,
+) -> float:
+    """Fraction of the parity-only false-DUE AVF removed at ``level``.
+
+    This is Figure 2's y-axis: 0.0 at parity-only, 1.0 at full memory-π.
+    """
+    baseline = breakdown.false_due_avf
+    if baseline <= 0.0:
+        return 0.0
+    return 1.0 - residual_false_due(breakdown, level, pet_entries) / baseline

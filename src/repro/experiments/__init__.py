@@ -1,0 +1,21 @@
+"""Paper-exhibit reproduction harness.
+
+One module per exhibit (Table 1, Figures 1-4, the Section 4.1 occupancy
+breakdown, Table 2's catalogue), plus shared plumbing in ``common``.
+Each module exposes ``run(...)`` returning structured rows and a
+``format_...`` helper that prints the same rows the paper reports.
+"""
+
+from repro.experiments.common import (
+    BenchmarkRun,
+    ExperimentSettings,
+    average_reports,
+    run_benchmark,
+)
+
+__all__ = [
+    "BenchmarkRun",
+    "ExperimentSettings",
+    "average_reports",
+    "run_benchmark",
+]

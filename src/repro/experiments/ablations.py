@@ -1,0 +1,194 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+These are not exhibits from the paper; they probe the modeling decisions
+the reproduction had to make and the design space around the paper's
+mechanisms:
+
+* **Accounting policy** — the paper's conservative ACE accounting charges
+  exposure-squash victims at their own class; the read-gated refinement
+  proves them harmless. How much AVF headroom does the refinement reveal?
+* **Refetch policy** — refetch immediately after a squash vs holding the
+  refetch until the miss data is about to return ("bring them back when
+  the pipeline resumes").
+* **Action** — squash vs fetch throttling on the same trigger (the paper
+  found throttling added little and dropped it).
+* **Queue size** — AVF and IPC as the instruction queue shrinks or grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.avf.occupancy import AccountingPolicy, compute_breakdown
+from repro.experiments.common import (
+    ExperimentSettings,
+    functional_parts,
+    run_benchmark,
+)
+from repro.pipeline.config import (
+    IssuePolicy,
+    SquashAction,
+    SquashConfig,
+    Trigger,
+)
+from repro.pipeline.core import PipelineSimulator
+from repro.util.tables import format_table
+from repro.workloads.profile import BenchmarkProfile
+from repro.workloads.spec2000 import ALL_PROFILES
+
+
+@dataclass
+class AblationRow:
+    label: str
+    ipc: float
+    sdc_avf: float
+    due_avf: float
+
+
+@dataclass
+class AblationResult:
+    title: str
+    rows: List[AblationRow]
+
+    def row(self, label: str) -> AblationRow:
+        for row in self.rows:
+            if row.label == label:
+                return row
+        raise KeyError(label)
+
+
+def _mean_over(profiles, settings, machine_fn, policy):
+    """Average IPC/SDC/DUE over profiles for a machine-config factory."""
+    ipc = sdc = due = 0.0
+    for profile in profiles:
+        program, execution, deadness = functional_parts(profile, settings)
+        machine = machine_fn(profile)
+        pipeline = PipelineSimulator(program, execution.trace, machine,
+                                     seed=settings.seed).run()
+        breakdown = compute_breakdown(pipeline, deadness, policy)
+        ipc += pipeline.ipc
+        sdc += breakdown.sdc_avf
+        due += breakdown.due_avf
+    n = len(profiles)
+    return ipc / n, sdc / n, due / n
+
+
+def accounting_policy(
+    settings: Optional[ExperimentSettings] = None,
+    profiles: Optional[Sequence[BenchmarkProfile]] = None,
+) -> AblationResult:
+    """Conservative vs read-gated accounting under the L1 squash."""
+    settings = settings or ExperimentSettings()
+    profiles = list(profiles or ALL_PROFILES)
+    rows = []
+    for label, policy in (
+            ("conservative (paper)", AccountingPolicy.CONSERVATIVE),
+            ("read-gated", AccountingPolicy.READ_GATED)):
+        def machine(profile):
+            return replace(
+                settings.machine_for(profile, Trigger.L1_MISS))
+        ipc, sdc, due = _mean_over(profiles, settings, machine, policy)
+        rows.append(AblationRow(label, ipc, sdc, due))
+    return AblationResult("Squash-victim accounting (L1 squash)", rows)
+
+
+def refetch_policy(
+    settings: Optional[ExperimentSettings] = None,
+    profiles: Optional[Sequence[BenchmarkProfile]] = None,
+) -> AblationResult:
+    """Immediate refetch vs refetch timed to the miss return."""
+    settings = settings or ExperimentSettings()
+    profiles = list(profiles or ALL_PROFILES)
+    rows = []
+    for label, resume in (("refetch immediately", False),
+                          ("resume at miss return", True)):
+        def machine(profile, resume=resume):
+            base = settings.machine_for(profile, Trigger.L1_MISS)
+            return replace(base, squash=replace(base.squash,
+                                                resume_at_miss_return=resume))
+        ipc, sdc, due = _mean_over(profiles, settings, machine,
+                                   AccountingPolicy.CONSERVATIVE)
+        rows.append(AblationRow(label, ipc, sdc, due))
+    return AblationResult("Refetch policy after an exposure squash", rows)
+
+
+def squash_vs_throttle(
+    settings: Optional[ExperimentSettings] = None,
+    profiles: Optional[Sequence[BenchmarkProfile]] = None,
+) -> AblationResult:
+    """The paper's two actions on the L1 trigger, plus no action."""
+    settings = settings or ExperimentSettings()
+    profiles = list(profiles or ALL_PROFILES)
+    rows = []
+    configurations = (
+        ("no action", SquashConfig(trigger=Trigger.NONE)),
+        ("squash", SquashConfig(trigger=Trigger.L1_MISS,
+                                action=SquashAction.SQUASH)),
+        ("fetch throttle", SquashConfig(trigger=Trigger.L1_MISS,
+                                        action=SquashAction.THROTTLE)),
+    )
+    for label, squash in configurations:
+        def machine(profile, squash=squash):
+            base = settings.machine_for(profile, Trigger.NONE)
+            return replace(base, squash=squash)
+        ipc, sdc, due = _mean_over(profiles, settings, machine,
+                                   AccountingPolicy.CONSERVATIVE)
+        rows.append(AblationRow(label, ipc, sdc, due))
+    return AblationResult("Action on an L1-miss trigger", rows)
+
+
+def queue_size_sweep(
+    settings: Optional[ExperimentSettings] = None,
+    profiles: Optional[Sequence[BenchmarkProfile]] = None,
+    sizes: Sequence[int] = (16, 32, 64, 128),
+) -> AblationResult:
+    """Instruction-queue size vs IPC and AVF (baseline, no squashing)."""
+    settings = settings or ExperimentSettings()
+    profiles = list(profiles or ALL_PROFILES)
+    rows = []
+    for size in sizes:
+        def machine(profile, size=size):
+            base = settings.machine_for(profile, Trigger.NONE)
+            return replace(base, iq_entries=size)
+        ipc, sdc, due = _mean_over(profiles, settings, machine,
+                                   AccountingPolicy.CONSERVATIVE)
+        rows.append(AblationRow(f"{size}-entry IQ", ipc, sdc, due))
+    return AblationResult("Instruction-queue size sweep", rows)
+
+
+def issue_policy_contrast(
+    settings: Optional[ExperimentSettings] = None,
+    profiles: Optional[Sequence[BenchmarkProfile]] = None,
+) -> AblationResult:
+    """In-order vs windowed out-of-order issue, with and without squash.
+
+    The paper evaluates an in-order machine and notes the situation is
+    "similar, though not as pronounced, for out-of-order machines in which
+    instructions dependent on a load miss cannot make progress until the
+    load returns data".
+    """
+    settings = settings or ExperimentSettings()
+    profiles = list(profiles or ALL_PROFILES)
+    rows = []
+    for policy_label, policy in (("in-order", IssuePolicy.IN_ORDER),
+                                 ("ooo window", IssuePolicy.OOO_WINDOW)):
+        for trigger_label, trigger in (("baseline", Trigger.NONE),
+                                       ("squash L1", Trigger.L1_MISS)):
+            def machine(profile, policy=policy, trigger=trigger):
+                base = settings.machine_for(profile, trigger)
+                return replace(base, issue_policy=policy)
+            ipc, sdc, due = _mean_over(profiles, settings, machine,
+                                       AccountingPolicy.CONSERVATIVE)
+            rows.append(AblationRow(f"{policy_label}, {trigger_label}",
+                                    ipc, sdc, due))
+    return AblationResult("Issue policy vs exposure reduction", rows)
+
+
+def format_result(result: AblationResult) -> str:
+    return format_table(
+        headers=["Configuration", "IPC", "SDC AVF", "DUE AVF"],
+        rows=[[row.label, f"{row.ipc:.2f}", f"{row.sdc_avf:.1%}",
+               f"{row.due_avf:.1%}"] for row in result.rows],
+        title=f"Ablation: {result.title}",
+    )

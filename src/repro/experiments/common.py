@@ -1,0 +1,133 @@
+"""Shared plumbing for the experiment modules.
+
+``run_benchmark`` owns the full per-benchmark flow:
+
+    profile -> synthesize program -> functional execution -> deadness
+            -> timing simulation (per squash config) -> AVF report
+
+The functional half (program, trace, deadness) is cached per
+(profile, size, seed) because every exhibit reuses it across squash
+configurations; the timing half is cached per squash trigger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.deadcode import DeadnessAnalysis, analyze_deadness
+from repro.arch.executor import FunctionalSimulator
+from repro.arch.result import ExecutionResult
+from repro.avf.avf_calc import IqAvfReport, compute_iq_avf
+from repro.isa.program import Program
+from repro.pipeline.config import MachineConfig, SquashConfig, Trigger
+from repro.pipeline.core import PipelineSimulator
+from repro.pipeline.result import PipelineResult
+from repro.workloads.codegen import synthesize
+from repro.workloads.profile import BenchmarkProfile
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Run-size and seed knobs shared by all exhibits."""
+
+    target_instructions: int = 60_000
+    seed: int = 2004
+    machine: MachineConfig = field(default_factory=MachineConfig)
+
+    def machine_for(
+        self, profile: BenchmarkProfile, trigger: Trigger
+    ) -> MachineConfig:
+        """Machine config specialised to one profile and squash trigger."""
+        return replace(
+            self.machine,
+            fetch_bubble_prob=profile.fetch_bubble_prob,
+            squash=replace(self.machine.squash, trigger=trigger),
+        )
+
+
+@dataclass
+class BenchmarkRun:
+    """Everything derived from one benchmark at one squash setting."""
+
+    profile: BenchmarkProfile
+    program: Program
+    execution: ExecutionResult
+    deadness: DeadnessAnalysis
+    pipeline: PipelineResult
+    report: IqAvfReport
+
+
+_functional_cache: Dict[Tuple, Tuple] = {}
+_run_cache: Dict[Tuple, BenchmarkRun] = {}
+
+
+def clear_caches() -> None:
+    """Drop memoised functional and timing results (mainly for tests)."""
+    _functional_cache.clear()
+    _run_cache.clear()
+
+
+def functional_parts(
+    profile: BenchmarkProfile, settings: ExperimentSettings
+) -> Tuple[Program, ExecutionResult, DeadnessAnalysis]:
+    """Synthesize + execute + classify once per (profile, size, seed)."""
+    key = (profile.name, settings.target_instructions, settings.seed)
+    if key not in _functional_cache:
+        program = synthesize(profile, settings.target_instructions,
+                             seed=settings.seed)
+        execution = FunctionalSimulator(program).run()
+        if not execution.clean:
+            raise RuntimeError(
+                f"synthetic program {profile.name} did not halt cleanly: "
+                f"{execution.status}")
+        deadness = analyze_deadness(execution)
+        _functional_cache[key] = (program, execution, deadness)
+    return _functional_cache[key]
+
+
+def run_benchmark(
+    profile: BenchmarkProfile,
+    settings: Optional[ExperimentSettings] = None,
+    trigger: Trigger = Trigger.NONE,
+) -> BenchmarkRun:
+    """Full flow for one benchmark at one squash trigger (memoised)."""
+    settings = settings or ExperimentSettings()
+    key = (profile.name, settings.target_instructions, settings.seed,
+           trigger, settings.machine.squash.action,
+           settings.machine.squash.resume_at_miss_return)
+    if key in _run_cache:
+        return _run_cache[key]
+    program, execution, deadness = functional_parts(profile, settings)
+    machine = settings.machine_for(profile, trigger)
+    pipeline = PipelineSimulator(program, execution.trace, machine,
+                                 seed=settings.seed).run()
+    report = compute_iq_avf(profile.name, pipeline, deadness)
+    run = BenchmarkRun(profile=profile, program=program, execution=execution,
+                       deadness=deadness, pipeline=pipeline, report=report)
+    _run_cache[key] = run
+    return run
+
+
+def average_reports(reports: Iterable[IqAvfReport]) -> Dict[str, float]:
+    """Arithmetic means of the headline metrics across benchmarks.
+
+    The paper averages IPC and AVFs arithmetically across benchmarks
+    (Table 1 'averaged across all benchmarks'); we do the same.
+    """
+    reports = list(reports)
+    if not reports:
+        raise ValueError("no reports to average")
+    n = len(reports)
+    mean_ipc = sum(r.ipc for r in reports) / n
+    mean_sdc = sum(r.sdc_avf for r in reports) / n
+    mean_due = sum(r.due_avf for r in reports) / n
+    mean_false = sum(r.false_due_avf for r in reports) / n
+    return {
+        "ipc": mean_ipc,
+        "sdc_avf": mean_sdc,
+        "due_avf": mean_due,
+        "false_due_avf": mean_false,
+        "ipc_over_sdc_avf": mean_ipc / mean_sdc if mean_sdc else 0.0,
+        "ipc_over_due_avf": mean_ipc / mean_due if mean_due else 0.0,
+    }

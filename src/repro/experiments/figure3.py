@@ -1,0 +1,92 @@
+"""Figure 3: PET-buffer coverage of FDD instructions vs buffer size.
+
+Three cumulative series over buffer sizes (the paper sweeps to ~16 K
+entries): FDD via registers excluding procedure-return deaths (the base
+PET design), plus return-scoped register deaths, plus FDD via memory.
+The paper's anchors: a 512-entry buffer covers ~32 % of FDD-via-register
+instructions, and ~10 K entries with return tracking covers most of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.deadcode import DynClass
+from repro.due.pet import DEFAULT_PET_SIZES, pet_coverage_by_size
+from repro.experiments.common import ExperimentSettings, functional_parts
+from repro.util.tables import format_table
+from repro.workloads.profile import BenchmarkProfile
+from repro.workloads.spec2000 import ALL_PROFILES
+
+#: The three cumulative series: label -> classes the PET variant tracks.
+SERIES: Tuple[Tuple[str, Tuple[DynClass, ...]], ...] = (
+    ("FDD reg (other)", (DynClass.FDD_REG,)),
+    ("+ FDD reg via returns", (DynClass.FDD_REG, DynClass.FDD_REG_RETURN)),
+    ("+ FDD via memory", (DynClass.FDD_REG, DynClass.FDD_REG_RETURN,
+                          DynClass.FDD_MEM)),
+)
+
+#: Shared denominator so the series nest (all first-level-dead classes).
+_ALL_FDD = (DynClass.FDD_REG, DynClass.FDD_REG_RETURN, DynClass.FDD_MEM)
+
+
+@dataclass
+class Figure3Result:
+    sizes: Tuple[int, ...]
+    #: series label -> {size -> average coverage fraction}
+    curves: Dict[str, Dict[int, float]]
+
+    def coverage(self, label: str, size: int) -> float:
+        return self.curves[label][size]
+
+
+def run(
+    settings: Optional[ExperimentSettings] = None,
+    profiles: Optional[Sequence[BenchmarkProfile]] = None,
+    sizes: Sequence[int] = DEFAULT_PET_SIZES,
+) -> Figure3Result:
+    settings = settings or ExperimentSettings()
+    profiles = list(profiles or ALL_PROFILES)
+    sizes = tuple(sizes)
+    totals: Dict[str, Dict[int, float]] = {
+        label: {size: 0.0 for size in sizes} for label, _ in SERIES}
+    for profile in profiles:
+        _, _, deadness = functional_parts(profile, settings)
+        for label, classes in SERIES:
+            coverage = pet_coverage_by_size(
+                deadness, sizes, classes=classes,
+                denominator_classes=_ALL_FDD)
+            for size in sizes:
+                totals[label][size] += coverage[size]
+    for label, _ in SERIES:
+        for size in sizes:
+            totals[label][size] /= len(profiles)
+    return Figure3Result(sizes=sizes, curves=totals)
+
+
+def format_result(result: Figure3Result) -> str:
+    headers = ["PET entries"] + [label for label, _ in SERIES]
+    body = [
+        [str(size)] + [f"{result.curves[label][size]:.1%}"
+                       for label, _ in SERIES]
+        for size in result.sizes
+    ]
+    table = format_table(
+        headers, body,
+        title="Figure 3: coverage of FDD instructions vs PET buffer size "
+              "(fraction of all first-level-dead instructions)",
+    )
+    anchor = ""
+    if 512 in result.sizes:
+        base = result.curves[SERIES[0][0]][512]
+        anchor = (f"\n\n512-entry buffer covers {base:.0%} of "
+                  f"FDD-via-register deaths (paper: ~32%)")
+    from repro.util.charts import series_chart
+
+    chart = series_chart(
+        [str(size) for size in result.sizes],
+        {label: [result.curves[label][size] for size in result.sizes]
+         for label, _ in SERIES},
+        title="PET coverage vs size (F=reg, +=returns, ++=memory)")
+    return f"{table}{anchor}\n\n{chart}"

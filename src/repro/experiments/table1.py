@@ -1,0 +1,121 @@
+"""Table 1: impact of squashing on IPC and the IQ's SDC/DUE AVFs.
+
+Paper values (averaged across all benchmarks):
+
+=========================  ====  =======  =======  =============  =============
+Design point               IPC   SDC AVF  DUE AVF  IPC/SDC AVF    IPC/DUE AVF
+=========================  ====  =======  =======  =============  =============
+No squashing               1.21  29 %     62 %     4.1            2.0
+Squash on L1 load misses   1.19  22 %     51 %     5.6            2.3
+Squash on L0 load misses   1.09  19 %     48 %     5.7            2.3
+=========================  ====  =======  =======  =============  =============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import (
+    ExperimentSettings,
+    average_reports,
+    run_benchmark,
+)
+from repro.pipeline.config import Trigger
+from repro.util.tables import format_table
+from repro.workloads.profile import BenchmarkProfile
+from repro.workloads.spec2000 import ALL_PROFILES
+
+_DESIGN_POINTS = (
+    ("No squashing", Trigger.NONE),
+    ("Squash on L1 load misses", Trigger.L1_MISS),
+    ("Squash on L0 load misses", Trigger.L0_MISS),
+)
+
+
+@dataclass
+class Table1Row:
+    design_point: str
+    trigger: Trigger
+    ipc: float
+    sdc_avf: float
+    due_avf: float
+    ipc_over_sdc: float
+    ipc_over_due: float
+
+
+@dataclass
+class Table1Result:
+    rows: List[Table1Row]
+    #: per-benchmark reports: {design point -> {benchmark -> IqAvfReport}}
+    details: Dict[str, Dict[str, object]]
+
+    def row(self, design_point: str) -> Table1Row:
+        for row in self.rows:
+            if row.design_point == design_point:
+                return row
+        raise KeyError(design_point)
+
+    def mitf_gain(self, design_point: str, kind: str = "sdc") -> float:
+        """Relative MITF change vs no squashing (paper: +37 % SDC, +15 % DUE
+        for the L1 trigger)."""
+        base = self.row("No squashing")
+        new = self.row(design_point)
+        if kind == "sdc":
+            return new.ipc_over_sdc / base.ipc_over_sdc - 1.0
+        if kind == "due":
+            return new.ipc_over_due / base.ipc_over_due - 1.0
+        raise ValueError("kind must be 'sdc' or 'due'")
+
+
+def run(
+    settings: Optional[ExperimentSettings] = None,
+    profiles: Optional[Sequence[BenchmarkProfile]] = None,
+) -> Table1Result:
+    """Regenerate Table 1 over the given profiles (default: all 26)."""
+    settings = settings or ExperimentSettings()
+    profiles = list(profiles or ALL_PROFILES)
+    rows: List[Table1Row] = []
+    details: Dict[str, Dict[str, object]] = {}
+    for label, trigger in _DESIGN_POINTS:
+        reports = {}
+        for profile in profiles:
+            run_ = run_benchmark(profile, settings, trigger)
+            reports[profile.name] = run_.report
+        means = average_reports(reports.values())
+        rows.append(Table1Row(
+            design_point=label,
+            trigger=trigger,
+            ipc=means["ipc"],
+            sdc_avf=means["sdc_avf"],
+            due_avf=means["due_avf"],
+            ipc_over_sdc=means["ipc_over_sdc_avf"],
+            ipc_over_due=means["ipc_over_due_avf"],
+        ))
+        details[label] = reports
+    return Table1Result(rows=rows, details=details)
+
+
+def format_result(result: Table1Result) -> str:
+    table = format_table(
+        headers=["Design Point", "IPC", "SDC AVF", "DUE AVF",
+                 "IPC / SDC AVF", "IPC / DUE AVF"],
+        rows=[
+            [row.design_point, f"{row.ipc:.2f}", f"{row.sdc_avf:.1%}",
+             f"{row.due_avf:.1%}", f"{row.ipc_over_sdc:.1f}",
+             f"{row.ipc_over_due:.1f}"]
+            for row in result.rows
+        ],
+        title="Table 1: Impact of squashing on IPC and the instruction "
+              "queue's SDC and DUE AVFs",
+    )
+    l1_sdc = result.mitf_gain("Squash on L1 load misses", "sdc")
+    l1_due = result.mitf_gain("Squash on L1 load misses", "due")
+    l0_sdc = result.mitf_gain("Squash on L0 load misses", "sdc")
+    l0_due = result.mitf_gain("Squash on L0 load misses", "due")
+    return (
+        f"{table}\n\n"
+        f"MITF gain vs no squashing (paper: L1 +37% SDC / +15% DUE):\n"
+        f"  squash on L1: SDC MITF {l1_sdc:+.0%}, DUE MITF {l1_due:+.0%}\n"
+        f"  squash on L0: SDC MITF {l0_sdc:+.0%}, DUE MITF {l0_due:+.0%}"
+    )

@@ -1,0 +1,141 @@
+"""Evaluation of one sampled strike.
+
+The unprotected path re-executes the program with the struck in-flight
+instruction's encoding bit flipped and compares observable output; the
+parity-protected path additionally asks the π-bit engine whether the
+detected error is signalled under the configured tracking level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arch.executor import ExecutionLimits, FunctionalSimulator
+from repro.arch.result import ExecutionResult, ExecutionStatus
+from repro.due.outcomes import FaultOutcome
+from repro.due.pi_bit import PiBitTracker
+from repro.due.tracking import DEFAULT_PET_ENTRIES, TrackingLevel
+from repro.faults.model import Strike
+from repro.isa import encoding
+from repro.isa.program import Program
+from repro.pipeline.iq import OccupantKind
+from repro.util.bitops import flip_bit
+
+# Re-export for convenience in examples/tests.
+StrikeSampler = None  # set below to avoid a circular definition
+
+
+@dataclass(frozen=True)
+class StrikeVerdict:
+    """Full diagnosis of one strike."""
+
+    outcome: FaultOutcome
+    #: Architectural effect of the corruption, ignoring detection:
+    #: one of "none", "sdc", "trap", "hang", "not_executed".
+    architectural_effect: str
+    #: True when the tracker suppressed an error that was actually harmful
+    #: (a known artifact of trace-based π tracking; see DESIGN.md).
+    tracker_miss: bool = False
+
+
+def corrupt_instruction(instruction, bit: int):
+    """Flip one bit of an instruction's 41-bit encoding and re-decode."""
+    return encoding.decode(flip_bit(instruction.encode(), bit))
+
+
+def architectural_effect(
+    program: Program,
+    baseline: ExecutionResult,
+    seq: int,
+    bit: int,
+    limits: Optional[ExecutionLimits] = None,
+) -> str:
+    """Re-execute with instruction ``seq`` corrupted; compare behaviour."""
+    original = baseline.trace[seq].instruction
+    corrupted = corrupt_instruction(original, bit)
+    if corrupted == original:
+        raise AssertionError("bit flip must change the instruction")
+    limits = limits or ExecutionLimits(
+        max_instructions=max(10_000, 3 * len(baseline.trace)))
+    rerun = FunctionalSimulator(program, limits).run(
+        record_trace=False, override_seq=seq, override_instruction=corrupted)
+    if rerun.status is ExecutionStatus.LIMIT:
+        return "hang"
+    if rerun.status in (ExecutionStatus.TRAP_ILLEGAL,
+                        ExecutionStatus.RET_UNDERFLOW):
+        return "trap"
+    if rerun.output_signature() == baseline.output_signature():
+        return "none"
+    return "sdc"
+
+
+_EFFECT_TO_OUTCOME = {
+    "sdc": FaultOutcome.SDC,
+    "trap": FaultOutcome.TRAP,
+    "hang": FaultOutcome.HANG,
+}
+
+
+def evaluate_strike(
+    strike: Strike,
+    program: Program,
+    baseline: ExecutionResult,
+    parity: bool = False,
+    tracking: TrackingLevel = TrackingLevel.PARITY_ONLY,
+    pet_entries: int = DEFAULT_PET_ENTRIES,
+    ecc: bool = False,
+) -> StrikeVerdict:
+    """Classify one strike per Figure 1.
+
+    Without protection the structure is unprotected: outcomes are benign,
+    SDC, trap, or hang. With ``parity`` the error is detected when the
+    entry is read, and ``tracking`` decides whether it is signalled. With
+    ``ecc`` (single-bit correction) every read strike is repaired in place
+    — Figure 1's outcome 3 ("fault corrected; no error").
+    """
+    interval = strike.interval
+    if interval is None:
+        return StrikeVerdict(FaultOutcome.BENIGN_UNREAD, "not_executed")
+    if not interval.issued or strike.cycle >= interval.issue_cycle:
+        # Struck after the last read (Ex-ACE) or never read at all
+        # (squash victim, never-issued wrong path): nobody consumes the bit.
+        return StrikeVerdict(FaultOutcome.BENIGN_UNREAD, "not_executed")
+    if ecc:
+        # SECDED corrects the single-bit fault at read time.
+        return StrikeVerdict(FaultOutcome.CORRECTED, "none")
+    if interval.kind is not OccupantKind.COMMITTED:
+        # Wrong-path occupant read before the squash: it executes but its
+        # results never commit. With parity this is the canonical false
+        # DUE; a π bit carried to commit suppresses it.
+        if not parity:
+            return StrikeVerdict(FaultOutcome.BENIGN_UNACE, "not_executed")
+        if tracking >= TrackingLevel.PI_COMMIT:
+            return StrikeVerdict(FaultOutcome.BENIGN_UNACE, "not_executed")
+        return StrikeVerdict(FaultOutcome.FALSE_DUE, "not_executed")
+
+    effect = architectural_effect(program, baseline, interval.seq, strike.bit)
+    if not parity:
+        if effect == "none":
+            return StrikeVerdict(FaultOutcome.BENIGN_UNACE, effect)
+        return StrikeVerdict(_EFFECT_TO_OUTCOME[effect], effect)
+
+    tracker = PiBitTracker(baseline.trace, tracking, pet_entries)
+    decision = tracker.process_fault(interval.seq, strike.bit)
+    if decision.signaled:
+        if effect == "none":
+            return StrikeVerdict(FaultOutcome.FALSE_DUE, effect)
+        return StrikeVerdict(FaultOutcome.TRUE_DUE, effect)
+    if effect == "none":
+        return StrikeVerdict(FaultOutcome.BENIGN_UNACE, effect)
+    # The tracker let a harmful corruption through: an artifact of
+    # replaying π propagation over the uncorrupted trace (e.g. a flipped
+    # destination specifier on a dead instruction clobbers a live
+    # register the baseline never wrote). Real hardware poisons the
+    # *corrupted* destination and stays sound.
+    return StrikeVerdict(_EFFECT_TO_OUTCOME[effect], effect,
+                         tracker_miss=True)
+
+
+# Re-export the sampler under its public name.
+from repro.faults.model import StrikeModel as StrikeSampler  # noqa: E402

@@ -1,0 +1,66 @@
+"""Strike model: where and when a particle hits the instruction queue."""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.isa.encoding import ENCODING_BITS
+from repro.pipeline.iq import OccupancyInterval
+from repro.pipeline.result import PipelineResult
+from repro.util.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class Strike:
+    """One sampled single-event upset.
+
+    ``interval`` is None when the strike landed on an idle entry;
+    ``cycle`` is absolute, ``bit`` indexes the 41-bit syllable.
+    """
+
+    interval: Optional[OccupancyInterval]
+    cycle: int
+    bit: int
+
+    @property
+    def hit_idle(self) -> bool:
+        return self.interval is None
+
+
+class StrikeModel:
+    """Uniform sampler over the queue's (entry x cycle x bit) space.
+
+    Strikes are uniform over *entry-cycles*: the probability of hitting a
+    given occupant is proportional to its residency, and the probability
+    of hitting an idle entry equals the queue's idle fraction — exactly
+    the exposure model behind the AVF equations of Section 2.
+    """
+
+    def __init__(self, result: PipelineResult, rng: DeterministicRng) -> None:
+        self._rng = rng
+        self._intervals = result.intervals
+        self._cumulative: List[int] = []
+        running = 0
+        for interval in self._intervals:
+            running += interval.resident_cycles
+            self._cumulative.append(running)
+        self._resident_total = running
+        self._space_total = result.total_entry_cycles
+        if self._space_total <= 0:
+            raise ValueError("pipeline result has an empty entry-cycle space")
+        if self._resident_total > self._space_total:
+            raise ValueError("occupancy exceeds the entry-cycle space")
+
+    def sample(self) -> Strike:
+        """Draw one strike."""
+        bit = self._rng.randrange(ENCODING_BITS)
+        point = self._rng.randrange(self._space_total)
+        if point >= self._resident_total:
+            return Strike(interval=None, cycle=0, bit=bit)
+        index = bisect_right(self._cumulative, point)
+        interval = self._intervals[index]
+        start = self._cumulative[index] - interval.resident_cycles
+        cycle = interval.alloc_cycle + (point - start)
+        return Strike(interval=interval, cycle=cycle, bit=bit)

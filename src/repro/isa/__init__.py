@@ -1,0 +1,58 @@
+"""REPRO-64: a synthetic, executable IA64-like instruction set.
+
+The paper's evaluation machine is an Itanium®2-like IA64 processor. We do
+not have IA64 binaries or an IA64 front end, so the repository defines a
+compact 41-bit-per-syllable instruction set with the properties the paper's
+analysis actually depends on:
+
+* full predication (a 6-bit qualifying-predicate field on every syllable),
+* explicit no-op / prefetch / branch-hint *neutral* instruction types,
+* loads/stores with register+offset addressing,
+* calls/returns (needed for the "FDD via procedure return" category), and
+* an ``OUT`` instruction that defines the program's observable output.
+
+Every instruction encodes to and decodes from a 41-bit integer, and the
+decode function is total, so single-bit faults injected into an encoding
+always yield *some* instruction — possibly an illegal one, exactly as a
+corrupted real encoding would.
+"""
+
+from repro.isa.encoding import (
+    ENCODING_BITS,
+    Field,
+    decode,
+    encode,
+    field_at_bit,
+    live_fields,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import InstrClass, Opcode
+from repro.isa.program import FunctionInfo, Program
+from repro.isa.registers import (
+    GPR_ZERO,
+    NUM_GPRS,
+    NUM_PREDICATES,
+    PRED_TRUE,
+    gpr_name,
+    pred_name,
+)
+
+__all__ = [
+    "ENCODING_BITS",
+    "Field",
+    "decode",
+    "encode",
+    "field_at_bit",
+    "live_fields",
+    "Instruction",
+    "InstrClass",
+    "Opcode",
+    "FunctionInfo",
+    "Program",
+    "GPR_ZERO",
+    "NUM_GPRS",
+    "NUM_PREDICATES",
+    "PRED_TRUE",
+    "gpr_name",
+    "pred_name",
+]

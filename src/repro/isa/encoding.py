@@ -1,0 +1,182 @@
+"""41-bit syllable encoding of REPRO-64 instructions.
+
+The bit-level layout matters to this reproduction for two reasons:
+
+1. **Fault injection** flips one physical bit of an in-flight encoding; the
+   total :func:`decode` maps the corrupted word back to an instruction.
+2. **Bit-weighted AVF**: the paper's ACE rules are per-field — e.g. only
+   the *opcode* bits of a no-op are ACE, and only the *destination
+   specifier* bits of a dynamically dead instruction are ACE. The AVF layer
+   asks this module which field each bit belongs to and which fields an
+   opcode actually uses.
+
+Layout (LSB first)::
+
+    bits  0..5   qp      qualifying predicate register
+    bits  6..12  r1      destination (or store-data / compare-target)
+    bits 13..19  r2      first source
+    bits 20..26  r3      second source
+    bits 27..33  imm7    short immediate (load/store offset)
+    bits 34..40  opcode  primary opcode
+
+Wider immediates overlay source fields: ``imm14`` = r3‖imm7 (ALU
+immediates) and ``imm21`` = r2‖r3‖imm7 (MOVI constants and branch/call
+displacements). All immediates are two's-complement signed.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, unique
+from typing import FrozenSet
+
+from repro.isa import opcodes
+from repro.isa.opcodes import Opcode
+from repro.util.bitops import extract_field, insert_field, mask
+
+ENCODING_BITS = 41
+
+QP_LO, QP_BITS = 0, 6
+R1_LO, R1_BITS = 6, 7
+R2_LO, R2_BITS = 13, 7
+R3_LO, R3_BITS = 20, 7
+IMM7_LO, IMM7_BITS = 27, 7
+OPCODE_LO, OPCODE_BITS = 34, 7
+
+IMM14_BITS = R3_BITS + IMM7_BITS
+IMM21_BITS = R2_BITS + R3_BITS + IMM7_BITS
+
+
+@unique
+class Field(Enum):
+    """Physical bit fields of a syllable."""
+
+    QP = "qp"
+    R1 = "r1"
+    R2 = "r2"
+    R3 = "r3"
+    IMM7 = "imm7"
+    OPCODE = "opcode"
+
+
+_FIELD_RANGES = {
+    Field.QP: (QP_LO, QP_BITS),
+    Field.R1: (R1_LO, R1_BITS),
+    Field.R2: (R2_LO, R2_BITS),
+    Field.R3: (R3_LO, R3_BITS),
+    Field.IMM7: (IMM7_LO, IMM7_BITS),
+    Field.OPCODE: (OPCODE_LO, OPCODE_BITS),
+}
+
+
+def field_at_bit(bit: int) -> Field:
+    """Physical field containing bit index ``bit`` (0 = LSB)."""
+    if not 0 <= bit < ENCODING_BITS:
+        raise ValueError(f"bit index out of range: {bit}")
+    for field, (lo, width) in _FIELD_RANGES.items():
+        if lo <= bit < lo + width:
+            return field
+    raise AssertionError("unreachable: layout covers all 41 bits")
+
+
+def field_bits(field: Field) -> range:
+    """Bit positions occupied by ``field``."""
+    lo, width = _FIELD_RANGES[field]
+    return range(lo, lo + width)
+
+
+_ALL_FIELDS = frozenset(Field)
+
+_LIVE_FIELDS = {
+    Opcode.NOP: frozenset({Field.OPCODE}),
+    Opcode.HINT: frozenset({Field.OPCODE}),
+    Opcode.PREFETCH: frozenset({Field.OPCODE}),
+    Opcode.HALT: frozenset({Field.OPCODE}),
+    Opcode.RET: frozenset({Field.OPCODE, Field.QP}),
+    Opcode.LD: frozenset({Field.OPCODE, Field.QP, Field.R1, Field.R2, Field.IMM7}),
+    Opcode.ST: frozenset({Field.OPCODE, Field.QP, Field.R1, Field.R2, Field.IMM7}),
+    Opcode.OUT: frozenset({Field.OPCODE, Field.QP, Field.R2}),
+    Opcode.MOVI: frozenset(
+        {Field.OPCODE, Field.QP, Field.R1, Field.R2, Field.R3, Field.IMM7}
+    ),
+    Opcode.BR: frozenset({Field.OPCODE, Field.QP, Field.R2, Field.R3, Field.IMM7}),
+    Opcode.CALL: frozenset({Field.OPCODE, Field.QP, Field.R2, Field.R3, Field.IMM7}),
+    Opcode.ILLEGAL: frozenset({Field.OPCODE}),
+}
+for _op in opcodes.REG_REG_ALU | opcodes.COMPARES:
+    _LIVE_FIELDS[_op] = frozenset(
+        {Field.OPCODE, Field.QP, Field.R1, Field.R2, Field.R3}
+    )
+for _op in opcodes.REG_IMM_ALU:
+    _LIVE_FIELDS[_op] = frozenset(
+        {Field.OPCODE, Field.QP, Field.R1, Field.R2, Field.R3, Field.IMM7}
+    )
+
+
+def live_fields(opcode: Opcode) -> FrozenSet[Field]:
+    """Fields whose bits the architecture actually interprets for ``opcode``.
+
+    Bits in non-live fields are un-ACE even for otherwise-ACE instructions:
+    flipping them cannot change execution.
+    """
+    return _LIVE_FIELDS[opcode]
+
+
+def _to_signed(value: int, bits: int) -> int:
+    if value & (1 << (bits - 1)):
+        return value - (1 << bits)
+    return value
+
+
+def _to_unsigned(value: int, bits: int) -> int:
+    if not -(1 << (bits - 1)) <= value < (1 << (bits - 1)):
+        raise ValueError(f"immediate {value} does not fit in {bits} signed bits")
+    return value & mask(bits)
+
+
+def encode(instruction: "Instruction") -> int:  # noqa: F821 (circular typing)
+    """Encode an :class:`~repro.isa.instruction.Instruction` to 41 bits."""
+    op = instruction.opcode
+    word = 0
+    word = insert_field(word, OPCODE_LO, OPCODE_BITS, int(op) & mask(OPCODE_BITS))
+    word = insert_field(word, QP_LO, QP_BITS, instruction.qp & mask(QP_BITS))
+    word = insert_field(word, R1_LO, R1_BITS, instruction.r1 & mask(R1_BITS))
+    if op in opcodes.WIDE_IMM_OPCODES:
+        imm21 = _to_unsigned(instruction.imm, IMM21_BITS)
+        word = insert_field(word, R2_LO, IMM21_BITS, imm21)
+    elif op in opcodes.REG_IMM_ALU:
+        word = insert_field(word, R2_LO, R2_BITS, instruction.r2 & mask(R2_BITS))
+        imm14 = _to_unsigned(instruction.imm, IMM14_BITS)
+        word = insert_field(word, R3_LO, IMM14_BITS, imm14)
+    else:
+        word = insert_field(word, R2_LO, R2_BITS, instruction.r2 & mask(R2_BITS))
+        word = insert_field(word, R3_LO, R3_BITS, instruction.r3 & mask(R3_BITS))
+        imm7 = _to_unsigned(instruction.imm, IMM7_BITS)
+        word = insert_field(word, IMM7_LO, IMM7_BITS, imm7)
+    return word
+
+
+def decode(word: int) -> "Instruction":  # noqa: F821
+    """Total decode: every 41-bit pattern yields an Instruction.
+
+    Unarchitected opcode values decode to :data:`Opcode.ILLEGAL` (which
+    traps when executed). Field values are preserved so that re-encoding a
+    decoded word is stable for architected opcodes.
+    """
+    from repro.isa.instruction import Instruction
+
+    if not 0 <= word < (1 << ENCODING_BITS):
+        raise ValueError(f"encoding out of range: {word:#x}")
+    opcode = opcodes.decode_opcode(extract_field(word, OPCODE_LO, OPCODE_BITS))
+    qp = extract_field(word, QP_LO, QP_BITS)
+    r1 = extract_field(word, R1_LO, R1_BITS)
+    r2 = extract_field(word, R2_LO, R2_BITS)
+    r3 = extract_field(word, R3_LO, R3_BITS)
+    if opcode in opcodes.WIDE_IMM_OPCODES:
+        imm = _to_signed(extract_field(word, R2_LO, IMM21_BITS), IMM21_BITS)
+        r2 = r3 = 0
+    elif opcode in opcodes.REG_IMM_ALU:
+        imm = _to_signed(extract_field(word, R3_LO, IMM14_BITS), IMM14_BITS)
+        r3 = 0
+    else:
+        imm = _to_signed(extract_field(word, IMM7_LO, IMM7_BITS), IMM7_BITS)
+    return Instruction(opcode=opcode, qp=qp, r1=r1, r2=r2, r3=r3, imm=imm)

@@ -1,0 +1,111 @@
+"""Static instruction representation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.isa import encoding, opcodes
+from repro.isa.opcodes import InstrClass, Opcode
+from repro.isa.registers import NUM_GPRS, NUM_PREDICATES
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One REPRO-64 syllable.
+
+    ``imm`` is the opcode-dependent immediate: a 7-bit load/store offset,
+    a 14-bit ALU immediate, or a 21-bit MOVI constant / PC-relative
+    branch-or-call displacement (in instruction slots). Branch targets are
+    therefore part of the encoding and participate in fault injection.
+    """
+
+    opcode: Opcode
+    qp: int = 0
+    r1: int = 0
+    r2: int = 0
+    r3: int = 0
+    imm: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.qp < NUM_PREDICATES:
+            raise ValueError(f"qp out of range: {self.qp}")
+        for name in ("r1", "r2", "r3"):
+            value = getattr(self, name)
+            if not 0 <= value < NUM_GPRS:
+                raise ValueError(f"{name} out of range: {value}")
+
+    @property
+    def instr_class(self) -> InstrClass:
+        return opcodes.instr_class(self.opcode)
+
+    @property
+    def is_neutral(self) -> bool:
+        """No-op / prefetch / hint: cannot affect architectural state."""
+        return opcodes.is_neutral(self.opcode)
+
+    @property
+    def writes_gpr(self) -> bool:
+        return opcodes.writes_gpr(self.opcode) and self.r1 != 0
+
+    @property
+    def writes_predicate(self) -> bool:
+        return opcodes.writes_predicate(self.opcode)
+
+    @property
+    def dest_gpr(self) -> int:
+        """Destination GPR index, or 0 when the opcode writes none."""
+        return self.r1 if opcodes.writes_gpr(self.opcode) else 0
+
+    @property
+    def dest_predicate(self) -> int:
+        """Destination predicate index, or 0 when the opcode writes none."""
+        return self.r1 % NUM_PREDICATES if opcodes.writes_predicate(self.opcode) else 0
+
+    def source_gprs(self) -> tuple:
+        """GPR indices this instruction reads (r0 reads excluded)."""
+        regs = []
+        for field_name in opcodes.gpr_sources(self.opcode):
+            reg = getattr(self, field_name)
+            if reg != 0:
+                regs.append(reg)
+        return tuple(regs)
+
+    @property
+    def is_control(self) -> bool:
+        return opcodes.is_control(self.opcode)
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode is Opcode.LD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode is Opcode.ST
+
+    def encode(self) -> int:
+        """41-bit encoding of this instruction."""
+        return encoding.encode(self)
+
+    def with_qp(self, qp: int) -> "Instruction":
+        return replace(self, qp=qp)
+
+    def __str__(self) -> str:
+        op = self.opcode.name.lower()
+        pred = f"(p{self.qp}) " if self.qp else ""
+        if self.opcode in opcodes.REG_REG_ALU:
+            return f"{pred}{op} r{self.r1} = r{self.r2}, r{self.r3}"
+        if self.opcode in opcodes.REG_IMM_ALU:
+            return f"{pred}{op} r{self.r1} = r{self.r2}, {self.imm}"
+        if self.opcode is Opcode.MOVI:
+            return f"{pred}{op} r{self.r1} = {self.imm}"
+        if self.opcode is Opcode.LD:
+            return f"{pred}{op} r{self.r1} = [r{self.r2} + {self.imm}]"
+        if self.opcode is Opcode.ST:
+            return f"{pred}{op} [r{self.r2} + {self.imm}] = r{self.r1}"
+        if self.opcode in opcodes.COMPARES:
+            return f"{pred}{op} p{self.r1 % NUM_PREDICATES} = r{self.r2}, r{self.r3}"
+        if self.opcode in (Opcode.BR, Opcode.CALL):
+            return f"{pred}{op} {self.imm:+d}"
+        if self.opcode is Opcode.OUT:
+            return f"{pred}{op} r{self.r2}"
+        return f"{pred}{op}"

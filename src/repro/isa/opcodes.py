@@ -1,0 +1,185 @@
+"""Opcode set of REPRO-64 and its static classification.
+
+The classification here feeds both the decoder (which fields are live for
+each opcode) and the AVF layer, which needs to know — per the paper's
+Section 4 — which instruction types are *neutral* (no-ops, prefetches,
+branch-prediction hints: only their opcode bits matter), which write a
+register (candidates for dynamic deadness), and which define the program's
+observable output (stores and I/O).
+"""
+
+from __future__ import annotations
+
+from enum import Enum, IntEnum, unique
+
+
+@unique
+class Opcode(IntEnum):
+    """7-bit primary opcode values.
+
+    Values 0-23 are architected; all other 7-bit patterns decode to an
+    illegal instruction (represented by :data:`ILLEGAL`, value 127), which
+    traps at execution. Keeping the architected opcodes dense at the bottom
+    of the space makes single-bit opcode corruptions land on *other valid
+    opcodes* reasonably often — the interesting case for fault injection.
+    """
+
+    NOP = 0
+    ADD = 1
+    SUB = 2
+    AND = 3
+    OR = 4
+    XOR = 5
+    SHL = 6
+    SHR = 7
+    MUL = 8
+    ADDI = 9
+    ANDI = 10
+    MOVI = 11
+    LD = 12
+    ST = 13
+    CMP_EQ = 14
+    CMP_LT = 15
+    CMP_NE = 16
+    BR = 17
+    CALL = 18
+    RET = 19
+    OUT = 20
+    PREFETCH = 21
+    HINT = 22
+    HALT = 23
+    ILLEGAL = 127
+
+
+@unique
+class InstrClass(Enum):
+    """Coarse execution class, used by the pipeline's functional units."""
+
+    ALU = "alu"
+    MUL = "mul"
+    LOAD = "load"
+    STORE = "store"
+    COMPARE = "compare"
+    BRANCH = "branch"
+    CALL = "call"
+    RET = "ret"
+    OUTPUT = "output"
+    NEUTRAL = "neutral"
+    HALT = "halt"
+    ILLEGAL = "illegal"
+
+
+_CLASS_OF = {
+    Opcode.NOP: InstrClass.NEUTRAL,
+    Opcode.ADD: InstrClass.ALU,
+    Opcode.SUB: InstrClass.ALU,
+    Opcode.AND: InstrClass.ALU,
+    Opcode.OR: InstrClass.ALU,
+    Opcode.XOR: InstrClass.ALU,
+    Opcode.SHL: InstrClass.ALU,
+    Opcode.SHR: InstrClass.ALU,
+    Opcode.MUL: InstrClass.MUL,
+    Opcode.ADDI: InstrClass.ALU,
+    Opcode.ANDI: InstrClass.ALU,
+    Opcode.MOVI: InstrClass.ALU,
+    Opcode.LD: InstrClass.LOAD,
+    Opcode.ST: InstrClass.STORE,
+    Opcode.CMP_EQ: InstrClass.COMPARE,
+    Opcode.CMP_LT: InstrClass.COMPARE,
+    Opcode.CMP_NE: InstrClass.COMPARE,
+    Opcode.BR: InstrClass.BRANCH,
+    Opcode.CALL: InstrClass.CALL,
+    Opcode.RET: InstrClass.RET,
+    Opcode.OUT: InstrClass.OUTPUT,
+    Opcode.PREFETCH: InstrClass.NEUTRAL,
+    Opcode.HINT: InstrClass.NEUTRAL,
+    Opcode.HALT: InstrClass.HALT,
+    Opcode.ILLEGAL: InstrClass.ILLEGAL,
+}
+
+#: Three-operand register-register ALU forms: r1 <- r2 op r3.
+REG_REG_ALU = frozenset(
+    {Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL,
+     Opcode.SHR, Opcode.MUL}
+)
+
+#: Register-immediate ALU forms: r1 <- r2 op imm14.
+REG_IMM_ALU = frozenset({Opcode.ADDI, Opcode.ANDI})
+
+#: Compare forms: p[r1] <- r2 op r3.
+COMPARES = frozenset({Opcode.CMP_EQ, Opcode.CMP_LT, Opcode.CMP_NE})
+
+#: Neutral instruction types per the paper's Section 4.1: only their opcode
+#: bits can affect the program (a strike elsewhere in the syllable cannot).
+NEUTRAL_OPCODES = frozenset({Opcode.NOP, Opcode.PREFETCH, Opcode.HINT})
+
+#: Opcodes that use the 21-bit combined immediate (r2|r3|imm7 fields).
+WIDE_IMM_OPCODES = frozenset({Opcode.MOVI, Opcode.BR, Opcode.CALL})
+
+
+def instr_class(opcode: Opcode) -> InstrClass:
+    """Execution class of ``opcode``."""
+    return _CLASS_OF[opcode]
+
+
+def is_neutral(opcode: Opcode) -> bool:
+    """True for instruction types that can never affect program output."""
+    return opcode in NEUTRAL_OPCODES
+
+
+def writes_gpr(opcode: Opcode) -> bool:
+    """True when the instruction writes general register ``r1``."""
+    return (
+        opcode in REG_REG_ALU
+        or opcode in REG_IMM_ALU
+        or opcode in (Opcode.MOVI, Opcode.LD)
+    )
+
+
+def writes_predicate(opcode: Opcode) -> bool:
+    """True when the instruction writes predicate register ``p[r1 mod 64]``."""
+    return opcode in COMPARES
+
+
+def gpr_sources(opcode: Opcode) -> tuple:
+    """Names of the register *fields* this opcode reads ('r1','r2','r3').
+
+    ``ST`` reads its data from r1 and its base address from r2, which is why
+    r1 can be a source. Predicated-off instructions read nothing.
+    """
+    if opcode in REG_REG_ALU or opcode in COMPARES:
+        return ("r2", "r3")
+    if opcode in REG_IMM_ALU:
+        return ("r2",)
+    if opcode == Opcode.LD:
+        return ("r2",)
+    if opcode == Opcode.ST:
+        return ("r1", "r2")
+    if opcode == Opcode.OUT:
+        return ("r2",)
+    if opcode == Opcode.PREFETCH:
+        # Prefetch computes an address but the access is architecturally
+        # invisible; the source read does not make producers live.
+        return ("r2",)
+    return ()
+
+
+def is_control(opcode: Opcode) -> bool:
+    """True for instructions that can redirect fetch."""
+    return _CLASS_OF[opcode] in (
+        InstrClass.BRANCH,
+        InstrClass.CALL,
+        InstrClass.RET,
+        InstrClass.HALT,
+    )
+
+
+def decode_opcode(value: int) -> Opcode:
+    """Total decode of a 7-bit opcode field; unarchitected values -> ILLEGAL."""
+    try:
+        opcode = Opcode(value)
+    except ValueError:
+        return Opcode.ILLEGAL
+    if opcode is Opcode.ILLEGAL:
+        return Opcode.ILLEGAL
+    return opcode

@@ -1,0 +1,113 @@
+"""Static program container: code, functions, data-segment layout."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """Half-open PC range [entry, end) of one synthesised function."""
+
+    name: str
+    entry: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.entry < 0 or self.end <= self.entry:
+            raise ValueError(f"bad function range [{self.entry}, {self.end})")
+
+    def contains(self, pc: int) -> bool:
+        return self.entry <= pc < self.end
+
+
+_NOP = Instruction(Opcode.NOP)
+
+
+class Program:
+    """An executable REPRO-64 program.
+
+    PCs are instruction-slot indices (not byte addresses). Fetches outside
+    the code range return no-ops, which matters on the wrong path: after a
+    corrupted or mispredicted branch, the front end must always be able to
+    fetch *something*, just as real hardware reads whatever bytes sit at the
+    bogus target.
+    """
+
+    def __init__(
+        self,
+        instructions: Sequence[Instruction],
+        functions: Sequence[FunctionInfo],
+        entry: int = 0,
+        data_words: int = 0,
+        name: str = "program",
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if not instructions:
+            raise ValueError("a program needs at least one instruction")
+        if not 0 <= entry < len(instructions):
+            raise ValueError(f"entry PC {entry} outside code range")
+        self._instructions: List[Instruction] = list(instructions)
+        self.functions: List[FunctionInfo] = list(functions)
+        self.entry = entry
+        self.data_words = data_words
+        self.name = name
+        self.metadata: Dict[str, object] = dict(metadata or {})
+        self._validate_functions()
+
+    def _validate_functions(self) -> None:
+        for info in self.functions:
+            if info.end > len(self._instructions):
+                raise ValueError(
+                    f"function {info.name} extends past code end "
+                    f"({info.end} > {len(self._instructions)})"
+                )
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    @property
+    def instructions(self) -> Sequence[Instruction]:
+        return tuple(self._instructions)
+
+    def in_range(self, pc: int) -> bool:
+        return 0 <= pc < len(self._instructions)
+
+    def fetch(self, pc: int) -> Instruction:
+        """Instruction at ``pc``; no-op when outside the code segment."""
+        if self.in_range(pc):
+            return self._instructions[pc]
+        return _NOP
+
+    def function_at(self, pc: int) -> Optional[FunctionInfo]:
+        """The function containing ``pc``, if any."""
+        for info in self.functions:
+            if info.contains(pc):
+                return info
+        return None
+
+    def branch_target(self, pc: int) -> int:
+        """Resolved PC-relative target of the control instruction at ``pc``."""
+        instruction = self.fetch(pc)
+        if not self.in_range(pc) or not self.is_relative_control(instruction):
+            raise ValueError(f"no relative control instruction at pc {pc}")
+        return pc + instruction.imm
+
+    @staticmethod
+    def is_relative_control(instruction: Instruction) -> bool:
+        return instruction.opcode in (Opcode.BR, Opcode.CALL)
+
+    def disassemble(self, lo: int = 0, hi: Optional[int] = None) -> str:
+        """Human-readable listing of PCs [lo, hi)."""
+        hi = len(self._instructions) if hi is None else hi
+        lines = []
+        for pc in range(lo, min(hi, len(self._instructions))):
+            info = self.function_at(pc)
+            if info is not None and info.entry == pc:
+                lines.append(f"{info.name}:")
+            lines.append(f"  {pc:6d}: {self._instructions[pc]}")
+        return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Register-file architecture of REPRO-64.
+
+Mirrors the IA64 shape the paper assumes: a large general-register file and
+a bank of one-bit predicate registers, with hardwired "always" registers
+(``r0`` reads as zero, ``p0`` reads as true).
+"""
+
+from __future__ import annotations
+
+NUM_GPRS = 128
+NUM_PREDICATES = 64
+
+#: General register that always reads as zero; writes to it are discarded.
+GPR_ZERO = 0
+
+#: Predicate register that always reads as true; writes to it are discarded.
+PRED_TRUE = 0
+
+
+def gpr_name(index: int) -> str:
+    """Assembly name of a general register (``r0`` ... ``r127``)."""
+    if not 0 <= index < NUM_GPRS:
+        raise ValueError(f"GPR index out of range: {index}")
+    return f"r{index}"
+
+
+def pred_name(index: int) -> str:
+    """Assembly name of a predicate register (``p0`` ... ``p63``)."""
+    if not 0 <= index < NUM_PREDICATES:
+        raise ValueError(f"predicate index out of range: {index}")
+    return f"p{index}"

@@ -1,0 +1,18 @@
+"""Cache hierarchy substrate.
+
+The paper's machine has three cache levels (8 KB L0 / 256 KB L1 / 10 MB L2
+at 2 / 10 / 25 cycles). Load misses in L0 or L1 are the *triggers* for the
+exposure-reduction squash, so the hierarchy reports which levels missed for
+every access, not just a latency.
+"""
+
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.hierarchy import AccessResult, CacheHierarchy, HierarchyConfig
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "AccessResult",
+    "CacheHierarchy",
+    "HierarchyConfig",
+]

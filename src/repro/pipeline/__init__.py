@@ -1,0 +1,36 @@
+"""Cycle-level timing model of the Itanium®2-like machine.
+
+The pipeline replays a committed trace from the functional simulator
+through a 6-wide, strictly in-order machine with a 64-entry instruction
+queue (IQ), the paper's three-level cache hierarchy, a gshare branch
+predictor that injects real wrong-path instructions, and the paper's
+exposure-reduction mechanisms (squash on L0/L1 load miss, fetch
+throttling). Its principal product — beyond IPC — is the list of per-entry
+IQ *occupancy intervals* that the AVF layer integrates.
+"""
+
+from repro.pipeline.branch import GShareBranchPredictor
+from repro.pipeline.config import (
+    IssuePolicy,
+    MachineConfig,
+    SquashAction,
+    SquashConfig,
+    Trigger,
+)
+from repro.pipeline.core import PipelineSimulator, simulate
+from repro.pipeline.iq import OccupancyInterval, OccupantKind
+from repro.pipeline.result import PipelineResult
+
+__all__ = [
+    "GShareBranchPredictor",
+    "IssuePolicy",
+    "MachineConfig",
+    "SquashAction",
+    "SquashConfig",
+    "Trigger",
+    "PipelineSimulator",
+    "simulate",
+    "OccupancyInterval",
+    "OccupantKind",
+    "PipelineResult",
+]

@@ -1,0 +1,84 @@
+"""Instruction-queue occupancy records.
+
+The AVF layer does not scan the queue cycle by cycle; instead the pipeline
+emits one :class:`OccupancyInterval` per dynamic occupancy of an IQ entry —
+when it was allocated, when it was last read (issued), when it left, and
+why. The integral of classified bit-time over these intervals *is* the AVF
+numerator (paper Section 2).
+"""
+
+from __future__ import annotations
+
+from enum import Enum, unique
+from typing import Optional
+
+from repro.isa.instruction import Instruction
+
+
+@unique
+class OccupantKind(Enum):
+    """Why an occupancy interval ended / what the occupant was."""
+
+    COMMITTED = "committed"  # correct-path, issued, retired
+    WRONG_PATH = "wrong_path"  # fetched past a mispredicted branch
+    SQUASHED = "squashed"  # correct-path victim of the exposure squash
+
+
+class OccupancyInterval:
+    """One dynamic residency of one instruction in one IQ entry."""
+
+    __slots__ = ("seq", "instruction", "kind", "alloc_cycle", "issue_cycle",
+                 "dealloc_cycle")
+
+    def __init__(
+        self,
+        seq: Optional[int],
+        instruction: Instruction,
+        kind: OccupantKind,
+        alloc_cycle: int,
+        issue_cycle: Optional[int],
+        dealloc_cycle: int,
+    ) -> None:
+        #: Commit sequence number (None for wrong-path occupants).
+        self.seq = seq
+        self.instruction = instruction
+        self.kind = kind
+        self.alloc_cycle = alloc_cycle
+        #: Cycle of the (last) read of this entry; None if never issued.
+        self.issue_cycle = issue_cycle
+        self.dealloc_cycle = dealloc_cycle
+
+    @property
+    def issued(self) -> bool:
+        return self.issue_cycle is not None
+
+    @property
+    def resident_cycles(self) -> int:
+        """Total cycles the entry held this occupant."""
+        return self.dealloc_cycle - self.alloc_cycle
+
+    @property
+    def vulnerable_cycles(self) -> int:
+        """Cycles from allocation to the last read (0 if never read).
+
+        Only this window can turn a strike into an error: bits that are
+        never read afterward (Ex-ACE tail, never-issued occupants) are
+        harmless, per the paper's Section 4.1.
+        """
+        if self.issue_cycle is None:
+            return 0
+        return self.issue_cycle - self.alloc_cycle
+
+    @property
+    def ex_ace_cycles(self) -> int:
+        """Cycles between the last read and deallocation."""
+        if self.issue_cycle is None:
+            return self.dealloc_cycle - self.alloc_cycle
+        return self.dealloc_cycle - self.issue_cycle
+
+    def __repr__(self) -> str:
+        return (
+            f"OccupancyInterval(seq={self.seq}, kind={self.kind.value}, "
+            f"alloc={self.alloc_cycle}, issue={self.issue_cycle}, "
+            f"dealloc={self.dealloc_cycle})"
+        )

@@ -1,0 +1,39 @@
+"""Timing-simulation results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.pipeline.iq import OccupancyInterval
+
+
+@dataclass
+class PipelineResult:
+    """Output of one timing run."""
+
+    cycles: int
+    committed: int
+    intervals: List[OccupancyInterval]
+    iq_entries: int
+    #: Counter bag: squashes, wrong-path instructions fetched, miss counts
+    #: per level, branch statistics, throttle cycles, ...
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.committed / self.cycles
+
+    @property
+    def total_entry_cycles(self) -> int:
+        """Denominator of every residency fraction: entries x cycles."""
+        return self.iq_entries * self.cycles
+
+    def occupancy_fraction(self) -> float:
+        """Fraction of entry-cycles holding any occupant (1 - idle)."""
+        if self.cycles == 0:
+            return 0.0
+        resident = sum(i.resident_cycles for i in self.intervals)
+        return resident / self.total_entry_cycles

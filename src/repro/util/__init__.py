@@ -1,0 +1,22 @@
+"""Shared low-level utilities: bit manipulation, RNG, statistics, tables."""
+
+from repro.util.bitops import bit_is_set, clear_bit, flip_bit, mask, popcount, set_bit
+from repro.util.rng import DeterministicRng, derive_seed
+from repro.util.stats import OnlineStats, geometric_mean, harmonic_mean, weighted_mean
+from repro.util.tables import format_table
+
+__all__ = [
+    "bit_is_set",
+    "clear_bit",
+    "flip_bit",
+    "mask",
+    "popcount",
+    "set_bit",
+    "DeterministicRng",
+    "derive_seed",
+    "OnlineStats",
+    "geometric_mean",
+    "harmonic_mean",
+    "weighted_mean",
+    "format_table",
+]

@@ -1,0 +1,73 @@
+"""Bit-manipulation helpers used by the encoding and fault-injection layers.
+
+All helpers operate on arbitrary-width non-negative Python integers; the
+caller supplies widths explicitly where they matter (e.g. :func:`flip_bit`
+does not need a width because Python integers are unbounded).
+"""
+
+from __future__ import annotations
+
+
+def mask(width: int) -> int:
+    """Return an all-ones mask of ``width`` bits.
+
+    >>> mask(4)
+    15
+    """
+    if width < 0:
+        raise ValueError(f"mask width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def bit_is_set(value: int, bit: int) -> bool:
+    """Return True when ``bit`` (0 = LSB) is set in ``value``."""
+    if bit < 0:
+        raise ValueError(f"bit index must be non-negative, got {bit}")
+    return (value >> bit) & 1 == 1
+
+
+def set_bit(value: int, bit: int) -> int:
+    """Return ``value`` with ``bit`` set."""
+    if bit < 0:
+        raise ValueError(f"bit index must be non-negative, got {bit}")
+    return value | (1 << bit)
+
+
+def clear_bit(value: int, bit: int) -> int:
+    """Return ``value`` with ``bit`` cleared."""
+    if bit < 0:
+        raise ValueError(f"bit index must be non-negative, got {bit}")
+    return value & ~(1 << bit)
+
+
+def flip_bit(value: int, bit: int) -> int:
+    """Return ``value`` with ``bit`` inverted.
+
+    This is the single-event-upset primitive: a particle strike flips
+    exactly one storage cell.
+    """
+    if bit < 0:
+        raise ValueError(f"bit index must be non-negative, got {bit}")
+    return value ^ (1 << bit)
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in ``value``."""
+    if value < 0:
+        raise ValueError(f"popcount requires a non-negative value, got {value}")
+    return bin(value).count("1")
+
+
+def extract_field(value: int, lo: int, width: int) -> int:
+    """Extract ``width`` bits of ``value`` starting at bit ``lo``."""
+    if lo < 0 or width < 0:
+        raise ValueError("field bounds must be non-negative")
+    return (value >> lo) & mask(width)
+
+
+def insert_field(value: int, lo: int, width: int, field: int) -> int:
+    """Return ``value`` with ``field`` written into bits [lo, lo+width)."""
+    if field < 0 or field > mask(width):
+        raise ValueError(f"field {field} does not fit in {width} bits")
+    cleared = value & ~(mask(width) << lo)
+    return cleared | (field << lo)

@@ -1,0 +1,72 @@
+"""Plain-text charts for the figure exhibits.
+
+The benchmark harness runs in terminals and CI logs, so the figures are
+rendered as ASCII bar charts alongside their numeric tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]],
+    width: int = 40,
+    maximum: Optional[float] = None,
+    unit: str = "%",
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal bar chart of (label, value) pairs.
+
+    Values are scaled to ``maximum`` (default: the largest value).
+    """
+    if not items:
+        raise ValueError("bar_chart needs at least one item")
+    if width <= 0:
+        raise ValueError("width must be positive")
+    top = maximum if maximum is not None else max(v for _, v in items)
+    if top <= 0:
+        top = 1.0
+    label_width = max(len(label) for label, _ in items)
+    lines = [title] if title else []
+    for label, value in items:
+        filled = int(round(min(value, top) / top * width))
+        bar = "#" * filled + "." * (width - filled)
+        shown = value * 100 if unit == "%" else value
+        lines.append(f"{label.ljust(label_width)} |{bar}| "
+                     f"{shown:6.1f}{unit}")
+    return "\n".join(lines)
+
+
+def series_chart(
+    x_labels: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    width: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Multi-series chart: one bar row per x point, one mark per series.
+
+    Series are overlaid on a single axis per row using their first letter
+    as the marker, which is enough to show nesting/crossover structure in
+    a log.
+    """
+    if not series:
+        raise ValueError("series_chart needs at least one series")
+    lengths = {len(values) for values in series.values()}
+    if lengths != {len(x_labels)}:
+        raise ValueError("every series must match x_labels in length")
+    top = max(max(values) for values in series.values())
+    if top <= 0:
+        top = 1.0
+    label_width = max(len(label) for label in x_labels)
+    lines = [title] if title else []
+    markers = {name: name[0].upper() for name in series}
+    for index, x_label in enumerate(x_labels):
+        row = [" "] * (width + 1)
+        for name, values in series.items():
+            position = int(round(values[index] / top * width))
+            row[min(position, width)] = markers[name]
+        lines.append(f"{x_label.rjust(label_width)} |{''.join(row)}|")
+    legend = ", ".join(f"{markers[name]}={name}" for name in series)
+    lines.append(f"{' ' * label_width}  scale: 0..{top:.2f}  ({legend})")
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Small statistics helpers shared by the AVF and experiment layers."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+class OnlineStats:
+    """Welford's online mean/variance accumulator.
+
+    Used by fault-injection campaigns, where the number of trials is large
+    and storing every outcome would be wasteful.
+    """
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            raise ValueError("mean of an empty accumulator")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator)."""
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def confidence_halfwidth(self, z: float = 1.96) -> float:
+        """Half-width of the normal-approximation confidence interval."""
+        if self._count == 0:
+            return float("inf")
+        return z * self.stddev / math.sqrt(self._count)
+
+
+def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Weighted arithmetic mean; raises on mismatched or empty input."""
+    if len(values) != len(weights):
+        raise ValueError("values and weights must have the same length")
+    total_weight = sum(weights)
+    if total_weight <= 0:
+        raise ValueError("total weight must be positive")
+    return sum(v * w for v, w in zip(values, weights)) / total_weight
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean of positive values (the right mean for rates like IPC)."""
+    values = list(values)
+    if not values:
+        raise ValueError("harmonic mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def ratio_change(new: float, old: float) -> float:
+    """Relative change (new - old) / old, e.g. -0.26 for a 26 % reduction."""
+    if old == 0:
+        raise ValueError("relative change from zero baseline is undefined")
+    return (new - old) / old

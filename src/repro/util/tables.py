@@ -1,0 +1,46 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows the paper's tables and figure
+series report; this module renders them legibly without external deps.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table."""
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    widths = [
+        max(len(header), *(len(row[i]) for row in str_rows)) if str_rows else len(header)
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Render a fraction as a percentage string: 0.29 -> '29.0%'."""
+    return f"{100.0 * value:.{digits}f}%"

@@ -1,0 +1,36 @@
+"""Synthetic SPEC CPU2000-like workloads.
+
+The paper evaluates dynamic SimPoint slices of 26 SPEC CPU2000 binaries
+compiled for IA64. We cannot run those binaries, so this package
+synthesises *executable* REPRO-64 programs whose dynamic properties —
+instruction mix, cache-miss behaviour, branch predictability, predication,
+call structure, and dynamically-dead-code fraction — are controlled per
+benchmark by a :class:`~repro.workloads.profile.BenchmarkProfile`.
+
+Programs are real code: deadness, wrong paths and miss streams are
+*discovered* by downstream analyses, not labelled by the generator.
+"""
+
+from repro.workloads.builder import CodeBuilder, Label
+from repro.workloads.codegen import ProgramSynthesizer, synthesize
+from repro.workloads.profile import BenchmarkProfile
+from repro.workloads.spec2000 import (
+    ALL_PROFILES,
+    FP_PROFILES,
+    INT_PROFILES,
+    get_profile,
+    profile_names,
+)
+
+__all__ = [
+    "CodeBuilder",
+    "Label",
+    "ProgramSynthesizer",
+    "synthesize",
+    "BenchmarkProfile",
+    "ALL_PROFILES",
+    "FP_PROFILES",
+    "INT_PROFILES",
+    "get_profile",
+    "profile_names",
+]

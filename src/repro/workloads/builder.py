@@ -1,0 +1,105 @@
+"""A tiny two-pass assembler for synthesising programs.
+
+The generator emits instructions linearly and uses :class:`Label` for
+forward branch/call targets; displacements are patched at :meth:`build`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import FunctionInfo, Program
+
+
+class Label:
+    """A code position, possibly not yet bound."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.pc: Optional[int] = None
+
+    @property
+    def bound(self) -> bool:
+        return self.pc is not None
+
+    def __repr__(self) -> str:
+        where = self.pc if self.bound else "?"
+        return f"Label({self.name}@{where})"
+
+
+class CodeBuilder:
+    """Accumulates instructions, labels and function extents."""
+
+    def __init__(self) -> None:
+        self._instructions: List[Instruction] = []
+        self._fixups: List[Tuple[int, Label]] = []
+        self._functions: List[FunctionInfo] = []
+        self._open_function: Optional[Tuple[str, int]] = None
+        self._label_counter = 0
+
+    @property
+    def here(self) -> int:
+        """PC of the next instruction to be emitted."""
+        return len(self._instructions)
+
+    def label(self, name: Optional[str] = None) -> Label:
+        self._label_counter += 1
+        return Label(name or f"L{self._label_counter}")
+
+    def bind(self, label: Label) -> None:
+        if label.bound:
+            raise ValueError(f"label {label.name} already bound")
+        label.pc = self.here
+
+    def emit(self, instruction: Instruction) -> int:
+        """Append one instruction; returns its PC."""
+        pc = self.here
+        self._instructions.append(instruction)
+        return pc
+
+    def emit_control(self, opcode: Opcode, target: Label, qp: int = 0) -> int:
+        """Emit a BR or CALL whose displacement is patched at build time."""
+        if opcode not in (Opcode.BR, Opcode.CALL):
+            raise ValueError(f"emit_control takes BR or CALL, got {opcode}")
+        pc = self.emit(Instruction(opcode, qp=qp, imm=0))
+        self._fixups.append((pc, target))
+        return pc
+
+    def begin_function(self, name: str) -> None:
+        if self._open_function is not None:
+            raise ValueError("previous function still open")
+        self._open_function = (name, self.here)
+
+    def end_function(self) -> None:
+        if self._open_function is None:
+            raise ValueError("no function open")
+        name, entry = self._open_function
+        self._functions.append(FunctionInfo(name=name, entry=entry, end=self.here))
+        self._open_function = None
+
+    def build(
+        self,
+        entry: int = 0,
+        data_words: int = 0,
+        name: str = "program",
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> Program:
+        """Patch fixups and produce the immutable :class:`Program`."""
+        if self._open_function is not None:
+            raise ValueError(f"function {self._open_function[0]} never closed")
+        instructions = list(self._instructions)
+        for pc, label in self._fixups:
+            if not label.bound:
+                raise ValueError(f"unbound label {label.name}")
+            instructions[pc] = replace(instructions[pc], imm=label.pc - pc)
+        return Program(
+            instructions=instructions,
+            functions=self._functions,
+            entry=entry,
+            data_words=data_words,
+            name=name,
+            metadata=metadata,
+        )

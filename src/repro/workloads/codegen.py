@@ -1,0 +1,551 @@
+"""Program synthesis from a :class:`BenchmarkProfile`.
+
+The synthesizer emits a single large main loop whose body is a randomized
+(but seed-deterministic) sequence of *items* drawn from the profile's
+weights, plus a set of leaf functions for the call items. Items are short
+idioms — each one is real code with real dataflow:
+
+* live ALU/multiply work feeds an accumulator that is periodically ``OUT``,
+  so liveness chains are anchored at genuine program output;
+* streaming loads walk regions sized against the cache hierarchy, so
+  hot / warm / cold items produce L0-hit / L0-miss / L1-miss behaviour
+  by construction rather than by fiat;
+* data-dependent branches and predicates consume an in-program
+  xorshift-augmented LCG, so branch outcomes are genuinely data-driven;
+* dead items write scratch registers or buffer slots that are later
+  overwritten without an intervening read — the dead-code *analysis*
+  rediscovers them, the generator only arranges the opportunity.
+
+Memory map (word addresses)::
+
+    HOT   0x01000 +   64 words   always L0-resident
+    DEAD  0x02000 +   64 words   write-only buffer (dead stores)
+    WARM  0x10000 + 16 K words   streams miss L0, hit L1 (128 KB)
+    COLD  0x80000 + 256 K words  streams miss L1, hit L2 (2 MB)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.util.rng import DeterministicRng, derive_seed
+from repro.workloads.builder import CodeBuilder, Label
+from repro.workloads.profile import BenchmarkProfile
+
+# --- register conventions -------------------------------------------------
+R_HOT = 1  # base of the L0-resident region
+R_WARM = 2  # base of the L1-resident region
+R_COLD = 3  # base of the L2-resident region
+R_LCG = 4  # in-program PRNG state
+R_LCGMUL = 5  # PRNG multiplier constant
+R_ACC = 7  # the live accumulator, anchored by OUT
+R_WIDX = 8  # warm stream index
+R_CIDX = 9  # cold stream index
+R_DEADBUF = 10  # base of the dead-store buffer
+R_WMASK = 11  # warm region index mask
+R_CMASK = 12  # cold region index mask
+R_CTR = 13  # main loop counter
+R_T0 = 14  # PRNG-derived temporary
+R_ADDR = 15  # address temporary
+LIVE_TEMPS = tuple(range(16, 28))  # rotating pool of live values
+R_ARG = 28  # call argument
+R_SH33 = 29  # holds the constant 33 (shift amount)
+SCRATCH = tuple(range(32, 46))  # rotating pool for dead register chains
+R_RET = 48  # leaf return value
+LEAF_LOCALS = tuple(range(49, 56))
+LEAF_DEAD = tuple(range(56, 64))  # return-dead registers, one per leaf
+R_DRING_IDX = 64  # dead-store ring index
+R_DRING_BASE = 65  # dead-store ring base
+
+P_LOOP = 1
+P_POOL = tuple(range(2, 15))
+
+# --- memory map (word addresses) -------------------------------------------
+HOT_BASE = 0x01000
+DEAD_BASE = 0x02000
+DEAD_RING_BASE = 0x03000
+DEAD_RING_WORDS = 128
+WARM_BASE = 0x10000
+WARM_WORDS = 1024
+COLD_BASE = 0x80000
+COLD_WORDS = 32 * 1024
+
+_LIVE_ALU_OPS = (Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR)
+
+
+class ProgramSynthesizer:
+    """Builds one executable program for a profile."""
+
+    def __init__(self, profile: BenchmarkProfile, seed: int = 2004) -> None:
+        self.profile = profile
+        self.rng = DeterministicRng(
+            derive_seed(seed, "codegen", profile.name, profile.seed_salt)
+        )
+        self.builder = CodeBuilder()
+        self._temp_cursor = 0
+        self._scratch_cursor = 0
+        self._pred_cursor = 0
+        self._dead_slot_cursor = 0
+        self._last_store_offset: Optional[int] = None
+        self._recent_temps: List[int] = list(LIVE_TEMPS[:3])
+        self._leaf_labels: List[Label] = []
+
+    # -- small helpers -------------------------------------------------------
+
+    def _emit(self, opcode: Opcode, qp: int = 0, r1: int = 0, r2: int = 0,
+              r3: int = 0, imm: int = 0) -> int:
+        return self.builder.emit(
+            Instruction(opcode, qp=qp, r1=r1, r2=r2, r3=r3, imm=imm)
+        )
+
+    def _next_temp(self) -> int:
+        reg = LIVE_TEMPS[self._temp_cursor % len(LIVE_TEMPS)]
+        self._temp_cursor += 1
+        return reg
+
+    def _next_scratch(self) -> int:
+        """Scratch register for a dead write.
+
+        Selection is tiered so dead-value overwrite distances spread, as
+        the paper's Figure 3 curve implies: the two-register short pool is
+        shared by several sites (deaths within a fraction of a body), the
+        round-robin middle pool gives one site per register (death at the
+        next iteration), and SCRATCH[10:] is reserved for the runtime-rare
+        sites whose deaths take many bodies.
+        """
+        if self.rng.bernoulli(0.35):
+            return self.rng.choice(SCRATCH[:2])
+        pool = SCRATCH[2:10]
+        reg = pool[self._scratch_cursor % len(pool)]
+        self._scratch_cursor += 1
+        return reg
+
+    def _next_pred(self) -> int:
+        pred = P_POOL[self._pred_cursor % len(P_POOL)]
+        self._pred_cursor += 1
+        return pred
+
+    def _read_temp(self) -> int:
+        """A recently-written live temp (keeps the pool actually live)."""
+        return self.rng.choice(self._recent_temps)
+
+    def _note_write(self, reg: int) -> None:
+        self._recent_temps.append(reg)
+        if len(self._recent_temps) > 6:
+            self._recent_temps.pop(0)
+
+    def _lcg_step(self) -> None:
+        """Advance the in-program PRNG; leaves mixed high bits in R_T0.
+
+        x = x * 65537 + 4093; t0 = x >> 33; x ^= t0 — an affine step with an
+        xorshift fold, cheap to express in REPRO-64 and good enough to make
+        branch directions unlearnable by a gshare predictor.
+        """
+        self._emit(Opcode.MUL, r1=R_LCG, r2=R_LCG, r3=R_LCGMUL)
+        self._emit(Opcode.ADDI, r1=R_LCG, r2=R_LCG, imm=4093)
+        self._emit(Opcode.SHR, r1=R_T0, r2=R_LCG, r3=R_SH33)
+        self._emit(Opcode.XOR, r1=R_LCG, r2=R_LCG, r3=R_T0)
+
+    # -- item emitters --------------------------------------------------------
+
+    def _item_alu(self) -> None:
+        dest = self._next_temp()
+        op = self.rng.choice(_LIVE_ALU_OPS)
+        if self._recent_temps and self.rng.bernoulli(self.profile.alu_chain_prob):
+            # Serial dependence on the newest value: compiled code carries
+            # long scalar chains that bound in-order issue below the width.
+            src1 = self._recent_temps[-1]
+        else:
+            src1 = self._read_temp()
+        self._emit(op, r1=dest, r2=src1, r3=self._read_temp())
+        self._note_write(dest)
+        if self.rng.bernoulli(0.35):
+            self._emit(Opcode.ADD, r1=R_ACC, r2=R_ACC, r3=dest)
+
+    def _item_mul(self) -> None:
+        dest = self._next_temp()
+        self._emit(Opcode.MUL, r1=dest, r2=self._read_temp(), r3=self._read_temp())
+        self._note_write(dest)
+        if self.rng.bernoulli(0.35):
+            self._emit(Opcode.XOR, r1=R_ACC, r2=R_ACC, r3=dest)
+
+    def _item_hot_load(self) -> None:
+        if self._last_store_offset is not None and self.rng.bernoulli(0.5):
+            offset = self._last_store_offset
+            self._last_store_offset = None
+        else:
+            offset = self.rng.randint(0, 56)
+        dest = self._next_temp()
+        self._emit(Opcode.LD, r1=dest, r2=R_HOT, imm=offset)
+        self._note_write(dest)
+
+    def _emit_stream_load(self, index_reg: int, base_reg: int, mask_reg: int,
+                          stride: int) -> None:
+        dest = self._next_temp()
+        self._emit(Opcode.ADDI, r1=index_reg, r2=index_reg, imm=stride)
+        self._emit(Opcode.AND, r1=index_reg, r2=index_reg, r3=mask_reg)
+        self._emit(Opcode.ADD, r1=R_ADDR, r2=base_reg, r3=index_reg)
+        self._emit(Opcode.LD, r1=dest, r2=R_ADDR, imm=0)
+        self._note_write(dest)
+
+    def _item_warm_load(self) -> None:
+        # One line per item: the warm footprint overflows the L0 but stays
+        # resident in the L1 (region sizes sit between the two capacities).
+        self._emit_stream_load(R_WIDX, R_WARM, R_WMASK, stride=8)
+
+    def _item_cold_load(self) -> None:
+        # 37-line jumps spread the stream across the whole cold region
+        # quickly, so revisited lines have always left the L1 but remain in
+        # the L2: every item is an L1 miss / L2 hit.
+        for _ in range(self.profile.miss_burst):
+            self._emit_stream_load(R_CIDX, R_COLD, R_CMASK, stride=296)
+
+    def _item_rand_load(self) -> None:
+        dest = self._next_temp()
+        self._lcg_step()
+        self._emit(Opcode.AND, r1=R_T0, r2=R_T0, r3=R_CMASK)
+        self._emit(Opcode.ADD, r1=R_ADDR, r2=R_COLD, r3=R_T0)
+        self._emit(Opcode.LD, r1=dest, r2=R_ADDR, imm=0)
+        self._note_write(dest)
+
+    def _item_live_store(self) -> None:
+        offset = self.rng.randint(0, 56)
+        self._emit(Opcode.ST, r1=self._read_temp(), r2=R_HOT, imm=offset)
+        self._last_store_offset = offset
+
+    def _item_branch_pred(self) -> None:
+        pred = self._next_pred()
+        skip = self.builder.label()
+        if self.rng.bernoulli(0.5):
+            # Not taken until the final iteration: arm is correct-path code.
+            self._emit(Opcode.CMP_EQ, r1=pred, r2=R_CTR, r3=0)
+            self.builder.emit_control(Opcode.BR, skip, qp=pred)
+            self._item_alu()
+        else:
+            # Always taken: the arm only ever executes on the wrong path.
+            self._emit(Opcode.CMP_NE, r1=pred, r2=R_CTR, r3=0)
+            self.builder.emit_control(Opcode.BR, skip, qp=pred)
+            for _ in range(2):
+                dest = self._next_temp()
+                self._emit(Opcode.OR, r1=dest, r2=self._read_temp(),
+                           r3=self._read_temp())
+        self.builder.bind(skip)
+
+    def _item_branch_rand(self) -> None:
+        pred = self._next_pred()
+        skip = self.builder.label()
+        self._lcg_step()
+        self._emit(Opcode.ANDI, r1=R_T0, r2=R_T0, imm=1)
+        self._emit(Opcode.CMP_NE, r1=pred, r2=R_T0, r3=0)
+        self.builder.emit_control(Opcode.BR, skip, qp=pred)
+        for _ in range(self.profile.branch_arm_len):
+            dest = self._next_temp()
+            op = self.rng.choice(_LIVE_ALU_OPS)
+            self._emit(op, r1=dest, r2=self._read_temp(), r3=self._read_temp())
+            self._note_write(dest)
+        self.builder.bind(skip)
+
+    def _item_pred_block(self) -> None:
+        pred = self._next_pred()
+        self._lcg_step()
+        self._emit(Opcode.ANDI, r1=R_T0, r2=R_T0, imm=1)
+        self._emit(Opcode.CMP_EQ, r1=pred, r2=R_T0, r3=0)
+        for _ in range(self.profile.pred_block_len):
+            dest = self._next_temp()
+            op = self.rng.choice(_LIVE_ALU_OPS)
+            self._emit(op, qp=pred, r1=dest, r2=self._read_temp(),
+                       r3=self._read_temp())
+            self._note_write(dest)
+
+    def _item_call(self) -> None:
+        if len(self._leaf_labels) >= 4 and self.rng.bernoulli(0.5):
+            self._emit_rotating_calls()
+            return
+        leaf = self.rng.choice(self._leaf_labels)
+        self._emit(Opcode.ADD, r1=R_ARG, r2=self._read_temp(), r3=R_ACC)
+        self.builder.emit_control(Opcode.CALL, leaf)
+        self._emit(Opcode.XOR, r1=R_ACC, r2=R_ACC, r3=R_RET)
+
+    def _emit_rotating_calls(self) -> None:
+        """A phase-rotated call group: one call per iteration, cycling
+        through four leaves, so each leaf's *recall* gap — and therefore
+        the overwrite distance of its return-dead registers — spans four
+        loop bodies instead of one."""
+        leaves = self.rng.sample(self._leaf_labels, 4)
+        self._emit(Opcode.ADD, r1=R_ARG, r2=self._read_temp(), r3=R_ACC)
+        self._emit(Opcode.ANDI, r1=R_T0, r2=R_CTR, imm=3)
+        for phase, leaf in enumerate(leaves):
+            pred = self._next_pred()
+            self._emit(Opcode.ADDI, r1=R_ADDR, r2=R_T0, imm=-phase)
+            self._emit(Opcode.CMP_EQ, r1=pred, r2=R_ADDR, r3=0)
+            self.builder.emit_control(Opcode.CALL, leaf, qp=pred)
+        self._emit(Opcode.XOR, r1=R_ACC, r2=R_ACC, r3=R_RET)
+
+    def _dead_source(self) -> int:
+        """Source for dead computations: usually the (always-live)
+        accumulator, so dead reads rarely demote pool temps to TDD."""
+        return R_ACC if self.rng.bernoulli(0.6) else self._read_temp()
+
+    def _emit_rarely(self, mask: int) -> int:
+        """Emit a counter-derived predicate that is true one iteration in
+        ``mask + 1``; returns the predicate register.
+
+        A single static loop body cannot produce dead-value overwrite
+        distances beyond one iteration on its own — every instance of a
+        static write hits the same register or slot, so the overwrite is
+        always "next iteration". Writes guarded by these sparse predicates
+        execute only every (mask+1)-th iteration, stretching their
+        overwrite distances to multiple loop bodies, which is what gives
+        Figure 3's PET-coverage curve its long tail.
+        """
+        pred = self._next_pred()
+        self._emit(Opcode.ANDI, r1=R_T0, r2=R_CTR, imm=mask)
+        self._emit(Opcode.CMP_EQ, r1=pred, r2=R_T0, r3=0)
+        return pred
+
+    def _item_dead_single(self) -> None:
+        if self.rng.bernoulli(0.45):
+            mask = self.rng.choice((3, 7, 15, 31))
+            pred = self._emit_rarely(mask)
+            dest = self.rng.choice(SCRATCH[10:])
+            self._emit(Opcode.ADD, qp=pred, r1=dest, r2=self._dead_source(),
+                       r3=self._dead_source())
+            return
+        dest = self._next_scratch()
+        op = self.rng.choice(_LIVE_ALU_OPS)
+        self._emit(op, r1=dest, r2=self._dead_source(), r3=self._dead_source())
+
+    def _item_dead_chain(self) -> None:
+        first = self._next_scratch()
+        second = self._next_scratch()
+        self._emit(Opcode.ADD, r1=first, r2=self._dead_source(),
+                   r3=self._dead_source())
+        self._emit(Opcode.MUL, r1=second, r2=first, r3=self._dead_source())
+
+    def _item_dead_store(self) -> None:
+        self._dead_slot_cursor += 1
+        roll = self.rng.random()
+        if roll < 0.35:
+            # Ring buffer: every iteration stores to a fresh word; the slot
+            # is only overwritten when the ring wraps (tens of bodies away).
+            self._emit(Opcode.ADDI, r1=R_DRING_IDX, r2=R_DRING_IDX, imm=1)
+            self._emit(Opcode.ANDI, r1=R_DRING_IDX, r2=R_DRING_IDX,
+                       imm=DEAD_RING_WORDS - 1)
+            self._emit(Opcode.ADD, r1=R_ADDR, r2=R_DRING_BASE,
+                       r3=R_DRING_IDX)
+            self._emit(Opcode.ST, r1=self._dead_source(), r2=R_ADDR, imm=0)
+            return
+        if roll < 0.65:
+            # Runtime-rare: the slot is rewritten only every (mask+1)-th
+            # iteration, so the dead value lives for several bodies.
+            mask = self.rng.choice((3, 7, 15, 31))
+            pred = self._emit_rarely(mask)
+            slot = 8 + (self._dead_slot_cursor % 48)
+            self._emit(Opcode.ST, qp=pred, r1=self._dead_source(),
+                       r2=R_DEADBUF, imm=slot)
+            return
+        slot = self._dead_slot_cursor % 8
+        self._emit(Opcode.ST, r1=self._dead_source(), r2=R_DEADBUF, imm=slot)
+
+    def _item_dead_mem_chain(self) -> None:
+        slot = 56 + (self._dead_slot_cursor % 8)
+        self._dead_slot_cursor += 1
+        scratch = self._next_scratch()
+        self._emit(Opcode.ST, r1=self._read_temp(), r2=R_DEADBUF, imm=slot)
+        self._emit(Opcode.LD, r1=scratch, r2=R_DEADBUF, imm=slot)
+
+    def _item_noop(self) -> None:
+        self._emit(Opcode.NOP)
+
+    def _item_prefetch(self) -> None:
+        self._emit(Opcode.PREFETCH, r2=R_ADDR, imm=self.rng.randint(0, 56))
+
+    def _item_hint(self) -> None:
+        self._emit(Opcode.HINT)
+
+    # -- program assembly ------------------------------------------------------
+
+    _ITEM_EMITTERS = {
+        "alu": _item_alu,
+        "mul": _item_mul,
+        "hot_load": _item_hot_load,
+        "warm_load": _item_warm_load,
+        "cold_load": _item_cold_load,
+        "rand_load": _item_rand_load,
+        "live_store": _item_live_store,
+        "branch_pred": _item_branch_pred,
+        "branch_rand": _item_branch_rand,
+        "pred_block": _item_pred_block,
+        "call": _item_call,
+        "dead_single": _item_dead_single,
+        "dead_chain": _item_dead_chain,
+        "dead_store": _item_dead_store,
+        "dead_mem_chain": _item_dead_mem_chain,
+        "noop": _item_noop,
+        "prefetch": _item_prefetch,
+        "hint": _item_hint,
+    }
+
+    def _emit_init(self, trips: int) -> None:
+        emit = self._emit
+        emit(Opcode.MOVI, r1=R_HOT, imm=HOT_BASE)
+        emit(Opcode.MOVI, r1=R_WARM, imm=WARM_BASE)
+        emit(Opcode.MOVI, r1=R_COLD, imm=COLD_BASE)
+        emit(Opcode.MOVI, r1=R_DEADBUF, imm=DEAD_BASE)
+        emit(Opcode.MOVI, r1=R_WMASK, imm=WARM_WORDS - 1)
+        emit(Opcode.MOVI, r1=R_CMASK, imm=COLD_WORDS - 1)
+        emit(Opcode.MOVI, r1=R_LCG, imm=self.rng.randint(1, 1_000_000))
+        emit(Opcode.MOVI, r1=R_LCGMUL, imm=65537)
+        emit(Opcode.MOVI, r1=R_SH33, imm=33)
+        emit(Opcode.MOVI, r1=R_CTR, imm=trips)
+        emit(Opcode.MOVI, r1=R_ACC, imm=1)
+        emit(Opcode.MOVI, r1=R_WIDX, imm=0)
+        emit(Opcode.MOVI, r1=R_CIDX, imm=0)
+        emit(Opcode.MOVI, r1=R_DRING_IDX, imm=0)
+        emit(Opcode.MOVI, r1=R_DRING_BASE, imm=DEAD_RING_BASE)
+        for reg in LIVE_TEMPS:
+            emit(Opcode.MOVI, r1=reg, imm=self.rng.randint(1, 8000))
+
+    def _emit_leaf(self, index: int) -> Label:
+        """One leaf function; its LEAF_DEAD writes become FDD-via-return."""
+        profile = self.profile
+        label = self.builder.label(f"leaf{index}")
+        self.builder.bind(label)
+        self.builder.begin_function(f"leaf{index}")
+        emit = self._emit
+        emit(Opcode.ADDI, r1=R_RET, r2=R_ARG, imm=self.rng.randint(1, 500))
+        local_a = LEAF_LOCALS[index % len(LEAF_LOCALS)]
+        local_b = LEAF_LOCALS[(index + 1) % len(LEAF_LOCALS)]
+        emit(Opcode.MOVI, r1=local_a, imm=self.rng.randint(1, 4000))
+        for step in range(max(0, profile.leaf_body_len - 3)):
+            if step % 3 == 0:
+                emit(Opcode.LD, r1=local_b, r2=R_HOT, imm=self.rng.randint(0, 56))
+            elif step % 3 == 1:
+                emit(Opcode.ADD, r1=local_a, r2=local_a, r3=local_b)
+            else:
+                emit(Opcode.XOR, r1=R_RET, r2=R_RET, r3=local_a)
+        # Each leaf owns (leaf_dead_writes) return-dead registers, each
+        # overwritten only when a leaf sharing the register is next called.
+        # Rotating call groups recall a given leaf every four bodies, which
+        # puts the "FDD via returns" mass at large PET sizes (Figure 3).
+        for k in range(max(1, profile.leaf_dead_writes)):
+            dead_reg = LEAF_DEAD[(index + 3 * k) % len(LEAF_DEAD)]
+            emit(Opcode.ADD, r1=dead_reg, r2=R_RET, r3=local_a)
+        emit(Opcode.RET)
+        self.builder.end_function()
+        return label
+
+    def _pick_body_items(self) -> List[str]:
+        """Item kinds for one loop body.
+
+        Counts are stochastically rounded from the profile weights, with
+        every positive-weight kind guaranteed at least one occurrence —
+        rare kinds (e.g. the L1-missing cold loads that drive the squash
+        trigger) must not vanish from the loop body by sampling accident.
+        """
+        weights = self.profile.item_weights()
+        total = sum(w for w in weights.values() if w > 0)
+        items: List[str] = []
+        for kind, weight in weights.items():
+            if weight <= 0:
+                continue
+            exact = weight / total * self.profile.body_items
+            count = int(exact)
+            if self.rng.bernoulli(exact - count):
+                count += 1
+            items.extend([kind] * max(1, count))
+        self.rng.shuffle(items)
+        # Periodic OUT anchors the accumulator's liveness. OUTs are
+        # *inserted*, not overwritten onto existing slots — overwriting
+        # could silently delete a singleton kind (e.g. the one cold load
+        # whose L1 misses drive the squash trigger).
+        period = max(2, self.profile.out_period_items)
+        for position in range(len(items) - 1, 0, -period):
+            items.insert(position, "out")
+        return items
+
+    def synthesize(self, target_instructions: int = 100_000) -> Program:
+        """Generate the program sized to roughly ``target_instructions``."""
+        if target_instructions < 1000:
+            raise ValueError("target_instructions must be at least 1000")
+        profile = self.profile
+        builder = self.builder
+
+        # Leaf functions live after main; emit main first so PC 0 is entry.
+        body_items = self._pick_body_items()
+        self._leaf_labels = [builder.label(f"leaf{i}")
+                             for i in range(profile.call_leaves)]
+
+        builder.begin_function("main")
+        # Trip count is patched after the body is emitted and measured.
+        self._emit_init(trips=1)
+        trips_pc = builder.here - len(LIVE_TEMPS) - 6  # PC of the MOVI R_CTR
+        loop_head = builder.label("loop")
+        builder.bind(loop_head)
+        body_start = builder.here
+        calls_in_body = 0
+        arms_skippable = 0
+        for kind in body_items:
+            if kind == "out":
+                self._emit(Opcode.OUT, r2=R_ACC)
+                continue
+            if kind == "call":
+                calls_in_body += 1
+            if kind == "branch_rand":
+                arms_skippable += profile.branch_arm_len
+            self._ITEM_EMITTERS[kind](self)
+        self._emit(Opcode.ADDI, r1=R_CTR, r2=R_CTR, imm=-1)
+        self._emit(Opcode.CMP_NE, r1=P_LOOP, r2=R_CTR, r3=0)
+        builder.emit_control(Opcode.BR, loop_head, qp=P_LOOP)
+        body_static = builder.here - body_start
+        self._emit(Opcode.OUT, r2=R_ACC)
+        self._emit(Opcode.HALT)
+        builder.end_function()
+
+        leaf_dynamic = profile.leaf_body_len + profile.leaf_dead_writes
+        for index, label in enumerate(self._leaf_labels):
+            real_label = self._emit_leaf(index)
+            label.pc = real_label.pc  # alias pre-created labels used by CALLs
+
+        # Dynamic length per iteration: static body, minus half of the
+        # random-branch arms (skipped when taken), plus executed leaf bodies.
+        per_iter = body_static - arms_skippable // 2 + calls_in_body * leaf_dynamic
+        trips = max(1, round(target_instructions / max(1, per_iter)))
+
+        program = builder.build(
+            entry=0,
+            data_words=COLD_BASE + COLD_WORDS,
+            name=profile.name,
+            metadata={
+                "profile": profile.name,
+                "suite": profile.suite,
+                "trips": trips,
+                "per_iteration_estimate": per_iter,
+            },
+        )
+        # Patch the trip count MOVI now that trips is known.
+        instructions = list(program.instructions)
+        movi_ctr = instructions[trips_pc]
+        if movi_ctr.opcode is not Opcode.MOVI or movi_ctr.r1 != R_CTR:
+            raise AssertionError("trip-count patch location drifted")
+        instructions[trips_pc] = Instruction(Opcode.MOVI, r1=R_CTR, imm=trips)
+        return Program(
+            instructions=instructions,
+            functions=program.functions,
+            entry=0,
+            data_words=program.data_words,
+            name=program.name,
+            metadata=program.metadata,
+        )
+
+
+def synthesize(
+    profile: BenchmarkProfile,
+    target_instructions: int = 100_000,
+    seed: int = 2004,
+) -> Program:
+    """Convenience wrapper: build the program for ``profile``."""
+    return ProgramSynthesizer(profile, seed=seed).synthesize(target_instructions)

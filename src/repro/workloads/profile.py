@@ -1,0 +1,88 @@
+"""Per-benchmark workload profiles.
+
+A profile is the statistical contract between the paper's description of a
+benchmark and our synthetic stand-in for it: relative weights of *items*
+(an item is a short idiom of 1-6 instructions: a live ALU op, a streaming
+load plus its index update, a random branch with its arm, a call, a dead
+chain, ...) plus structural knobs (body size, predication block length,
+front-end bubble rate).
+
+Integer profiles carry more data-dependent branches and calls; floating-
+point profiles carry more no-ops and prefetches (IA64 bundle padding) and
+more streaming memory traffic — the properties Figures 2 and 4 of the paper
+attribute the int/fp differences to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Knobs controlling program synthesis for one benchmark."""
+
+    name: str
+    suite: str  # "int" or "fp"
+    #: Instructions skipped in the paper's SimPoint (Table 2; metadata only).
+    skip_millions: int = 0
+
+    # --- item mix (relative weights; need not sum to anything) ---
+    w_alu: float = 30.0  # live single-cycle ALU work
+    w_mul: float = 4.0  # live multiplies (longer latency)
+    w_hot_load: float = 10.0  # loads hitting L0
+    w_warm_load: float = 4.0  # streaming loads that miss L0, hit L1
+    w_cold_load: float = 1.0  # streaming loads that miss L1, hit L2
+    w_rand_load: float = 0.0  # pointer-chasing loads (random in cold region)
+    w_live_store: float = 4.0  # stores whose values are later loaded
+    w_branch_pred: float = 6.0  # predictable conditional branches
+    w_branch_rand: float = 3.0  # data-dependent ~50/50 branches
+    w_pred_block: float = 2.0  # cmp + predicated instruction block
+    w_call: float = 1.5  # call to a leaf function
+    w_dead_single: float = 3.0  # first-level dynamically dead ALU op
+    w_dead_chain: float = 1.5  # TDD -> FDD register chain
+    w_dead_store: float = 1.5  # store never loaded (FDD via memory)
+    w_dead_mem_chain: float = 0.7  # store read only by a dead load (TDD-mem)
+    w_noop: float = 18.0
+    w_prefetch: float = 2.0
+    w_hint: float = 1.0
+
+    # --- structure ---
+    body_items: int = 120  # items per main-loop body
+    pred_block_len: int = 3  # predicated instructions per pred block
+    branch_arm_len: int = 3  # instructions in a random branch's arm
+    out_period_items: int = 40  # OUT emitted every N items
+    call_leaves: int = 8  # number of distinct leaf functions
+    leaf_body_len: int = 8  # live instructions per leaf
+    leaf_dead_writes: int = 2  # return-dead register writes per leaf
+    load_use_distance: int = 2  # items between a load and its first use
+    miss_burst: int = 1  # consecutive cold lines per cold item (clustering)
+    alu_chain_prob: float = 0.45  # P(ALU op depends on the newest value)
+
+    # --- front end ---
+    fetch_bubble_prob: float = 0.25  # P(front end delivers nothing this cycle)
+
+    seed_salt: int = 0
+
+    def __post_init__(self) -> None:
+        if self.suite not in ("int", "fp"):
+            raise ValueError(f"suite must be 'int' or 'fp', got {self.suite!r}")
+        for f in fields(self):
+            if f.name.startswith("w_") and getattr(self, f.name) < 0:
+                raise ValueError(f"{f.name} must be non-negative")
+        if self.body_items < 10:
+            raise ValueError("body_items must be at least 10")
+        if not 0.0 <= self.fetch_bubble_prob < 1.0:
+            raise ValueError("fetch_bubble_prob must be in [0, 1)")
+        if self.miss_burst < 1:
+            raise ValueError("miss_burst must be >= 1")
+        if self.call_leaves < 1:
+            raise ValueError("call_leaves must be >= 1")
+
+    def item_weights(self) -> dict:
+        """Mapping of item-kind name -> weight (the ``w_`` fields)."""
+        return {
+            f.name[2:]: getattr(self, f.name)
+            for f in fields(self)
+            if f.name.startswith("w_")
+        }

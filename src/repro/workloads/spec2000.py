@@ -1,0 +1,159 @@
+"""The 26 SPEC CPU2000 benchmark profiles (paper Table 2).
+
+Each profile is a synthetic stand-in for one of the paper's SimPoint
+slices. ``skip_millions`` preserves Table 2's skip intervals as metadata.
+The knobs encode the qualitative characters the paper leans on:
+
+* integer codes: more data-dependent branches, calls, and predication;
+* floating-point codes: more no-ops/prefetches/hints (IA64 bundle padding
+  and software pipelining) and heavier streaming memory traffic;
+* ``mcf``/``art``: poor locality (random pointer loads into the cold
+  region); ``ammp``: clustered L1 misses that queue instructions behind a
+  few critical loads, which is why the paper sees its SDC AVF collapse by
+  ~90 % under squashing at only ~7 % IPC cost.
+
+Absolute constants were calibrated against the paper's aggregate targets
+(IPC 1.21; IQ residency 29 % ACE / 33 % un-ACE / 8 % Ex-ACE / 30 % idle);
+see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.profile import BenchmarkProfile
+
+
+def _int_profile(name: str, skip: int, **overrides: object) -> BenchmarkProfile:
+    base = dict(
+        name=name,
+        suite="int",
+        skip_millions=skip,
+        w_alu=30.0,
+        w_mul=6.0,
+        w_hot_load=9.0,
+        w_warm_load=1.2,
+        w_cold_load=0.35,
+        w_rand_load=0.0,
+        w_live_store=4.0,
+        w_branch_pred=5.0,
+        w_branch_rand=1.0,
+        w_pred_block=2.5,
+        w_call=2.0,
+        w_dead_single=3.5,
+        w_dead_chain=0.8,
+        w_dead_store=4.5,
+        w_dead_mem_chain=1.8,
+        w_noop=66.0,
+        w_prefetch=1.0,
+        w_hint=1.5,
+        fetch_bubble_prob=0.34,
+        body_items=320,
+    )
+    base.update(overrides)
+    return BenchmarkProfile(**base)  # type: ignore[arg-type]
+
+
+def _fp_profile(name: str, skip: int, **overrides: object) -> BenchmarkProfile:
+    base = dict(
+        name=name,
+        suite="fp",
+        skip_millions=skip,
+        w_alu=26.0,
+        w_mul=9.0,
+        w_hot_load=7.0,
+        w_warm_load=1.6,
+        w_cold_load=0.6,
+        w_rand_load=0.0,
+        w_live_store=4.0,
+        w_branch_pred=4.0,
+        w_branch_rand=0.4,
+        w_pred_block=1.0,
+        w_call=0.8,
+        w_dead_single=3.0,
+        w_dead_chain=0.7,
+        w_dead_store=4.5,
+        w_dead_mem_chain=1.8,
+        w_noop=100.0,
+        w_prefetch=6.0,
+        w_hint=2.5,
+        fetch_bubble_prob=0.37,
+        body_items=340,
+    )
+    base.update(overrides)
+    return BenchmarkProfile(**base)  # type: ignore[arg-type]
+
+
+INT_PROFILES: List[BenchmarkProfile] = [
+    _int_profile("bzip2-source", 48_900, w_branch_rand=1.1, w_warm_load=2.6,
+                 seed_salt=1),
+    _int_profile("cc-200", 16_600, w_call=3.0, w_branch_rand=1.6,
+                 w_cold_load=0.5, fetch_bubble_prob=0.36, seed_salt=2),
+    _int_profile("crafty", 120_600, w_branch_rand=2.0, w_alu=34.0,
+                 w_pred_block=3.0, seed_salt=3),
+    _int_profile("eon-kajiya", 73_000, w_mul=6.0, w_call=3.0,
+                 w_branch_rand=0.7, seed_salt=4),
+    _int_profile("gap", 18_800, w_call=2.5, w_warm_load=2.0, seed_salt=5),
+    _int_profile("gzip-graphic", 29_000, w_branch_rand=1.2, w_warm_load=2.8,
+                 seed_salt=6),
+    _int_profile("mcf", 26_200, w_rand_load=1.5, w_cold_load=0.8,
+                 w_alu=24.0, fetch_bubble_prob=0.26, seed_salt=7),
+    _int_profile("parser", 71_400, w_call=2.5, w_branch_rand=1.5,
+                 seed_salt=8),
+    _int_profile("perlbmk-makerand", 0, w_call=4.0, w_branch_rand=1.2,
+                 fetch_bubble_prob=0.34, seed_salt=9),
+    _int_profile("twolf", 185_400, w_branch_rand=1.5, w_cold_load=0.5,
+                 seed_salt=10),
+    _int_profile("vortex-lendian3", 59_300, w_call=3.5, w_warm_load=2.2,
+                 fetch_bubble_prob=0.34, seed_salt=11),
+    _int_profile("vpr-route", 49_200, w_branch_rand=1.4, w_cold_load=0.45,
+                 seed_salt=12),
+]
+
+FP_PROFILES: List[BenchmarkProfile] = [
+    _fp_profile("ammp", 50_900, w_cold_load=3.5, miss_burst=8,
+                w_warm_load=0.8, w_noop=50.0, fetch_bubble_prob=0.15,
+                seed_salt=21),
+    _fp_profile("applu", 500, w_warm_load=3.0, w_cold_load=0.5,
+                w_prefetch=7.0, seed_salt=22),
+    _fp_profile("apsi", 100, w_warm_load=2.5, w_mul=7.0, seed_salt=23),
+    _fp_profile("art-110", 36_400, w_rand_load=0.5, w_cold_load=0.4,
+                w_noop=55.0, seed_salt=24),
+    _fp_profile("equake", 1_500, w_warm_load=3.0, w_cold_load=0.6,
+                seed_salt=25),
+    _fp_profile("facerec", 64_100, w_warm_load=2.8, w_prefetch=7.0,
+                seed_salt=26),
+    _fp_profile("fma3d", 23_600, w_call=1.5, w_warm_load=2.2,
+                fetch_bubble_prob=0.32, seed_salt=27),
+    _fp_profile("galgel", 5_000, w_mul=8.0, w_warm_load=2.5, seed_salt=28),
+    _fp_profile("lucas", 123_500, w_warm_load=3.0, w_noop=58.0,
+                seed_salt=29),
+    _fp_profile("mesa", 73_300, w_alu=30.0, w_branch_rand=0.5,
+                w_noop=60.0, seed_salt=30),
+    _fp_profile("mgrid", 200, w_warm_load=3.5, w_cold_load=0.6,
+                w_prefetch=8.0, seed_salt=31),
+    _fp_profile("sixtrack", 4_100, w_alu=34.0, w_mul=8.0, w_warm_load=1.2,
+                w_noop=40.0, fetch_bubble_prob=0.24, seed_salt=32),
+    _fp_profile("swim", 78_100, w_warm_load=3.5, w_cold_load=0.8,
+                w_prefetch=8.0, seed_salt=33),
+    _fp_profile("wupwise", 23_800, w_mul=7.0, w_warm_load=2.2,
+                w_call=1.2, seed_salt=34),
+]
+
+ALL_PROFILES: List[BenchmarkProfile] = INT_PROFILES + FP_PROFILES
+
+_BY_NAME: Dict[str, BenchmarkProfile] = {p.name: p for p in ALL_PROFILES}
+
+
+def get_profile(name: str) -> BenchmarkProfile:
+    """Look up a profile by its Table 2 benchmark name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {', '.join(sorted(_BY_NAME))}"
+        ) from None
+
+
+def profile_names() -> List[str]:
+    return [p.name for p in ALL_PROFILES]

@@ -1,0 +1,106 @@
+"""Trace serialisation: export committed traces for offline analysis.
+
+Traces serialise to a compact JSON-lines format (one committed instruction
+per line) so AVF/deadness analyses can be run on stored traces, traces can
+be diffed across tool versions, and external tooling can consume them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, TextIO, Union
+
+from repro.arch.result import ExecutionResult, ExecutionStatus, InvocationRecord
+from repro.arch.trace import CommittedOp
+from repro.isa import encoding
+
+FORMAT_VERSION = 1
+
+
+def _op_to_record(op: CommittedOp) -> dict:
+    record = {
+        "seq": op.seq,
+        "pc": op.pc,
+        "enc": op.instruction.encode(),
+        "x": int(op.executed),
+        "inv": op.invocation,
+    }
+    if op.dest_gpr:
+        record["d"] = op.dest_gpr
+    if op.dest_pred >= 0:
+        record["dp"] = op.dest_pred
+    if op.src_gprs:
+        record["s"] = list(op.src_gprs)
+    if op.mem_addr is not None:
+        record["a"] = op.mem_addr
+        record["st"] = int(op.is_store)
+    if op.branch_taken:
+        record["bt"] = 1
+    record["np"] = op.next_pc
+    if op.is_output:
+        record["o"] = 1
+    return record
+
+
+def _record_to_op(record: dict) -> CommittedOp:
+    mem_addr = record.get("a")
+    return CommittedOp(
+        seq=record["seq"],
+        pc=record["pc"],
+        instruction=encoding.decode(record["enc"]),
+        executed=bool(record["x"]),
+        dest_gpr=record.get("d", 0),
+        dest_pred=record.get("dp", -1),
+        src_gprs=tuple(record.get("s", ())),
+        mem_addr=mem_addr,
+        is_store=bool(record.get("st", 0)) if mem_addr is not None else False,
+        is_load=(mem_addr is not None and not record.get("st", 0)),
+        branch_taken=bool(record.get("bt", 0)),
+        next_pc=record["np"],
+        invocation=record["inv"],
+        is_output=bool(record.get("o", 0)),
+    )
+
+
+def dump_execution(result: ExecutionResult,
+                   path: Union[str, Path]) -> None:
+    """Write an execution result (trace + outputs + invocations) to disk."""
+    path = Path(path)
+    with path.open("w") as handle:
+        header = {
+            "version": FORMAT_VERSION,
+            "status": result.status.value,
+            "outputs": list(result.outputs),
+            "invocations": [
+                {"id": inv.invocation, "entry": inv.entry_pc,
+                 "call": inv.call_seq, "ret": inv.return_seq}
+                for inv in result.invocations.values()
+            ],
+        }
+        handle.write(json.dumps(header) + "\n")
+        for op in result.trace:
+            handle.write(json.dumps(_op_to_record(op)) + "\n")
+
+
+def load_execution(path: Union[str, Path]) -> ExecutionResult:
+    """Read an execution result previously written by :func:`dump_execution`."""
+    path = Path(path)
+    with path.open() as handle:
+        header = json.loads(handle.readline())
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {header.get('version')}")
+        trace = [_record_to_op(json.loads(line)) for line in handle]
+    invocations = {
+        item["id"]: InvocationRecord(
+            invocation=item["id"], entry_pc=item["entry"],
+            call_seq=item["call"], return_seq=item["ret"])
+        for item in header["invocations"]
+    }
+    return ExecutionResult(
+        status=ExecutionStatus(header["status"]),
+        trace=trace,
+        outputs=tuple(header["outputs"]),
+        invocations=invocations,
+    )

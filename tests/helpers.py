@@ -1,0 +1,31 @@
+"""Hand-assembly helpers for unit tests."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import FunctionInfo, Program
+
+
+def I(opcode: Opcode, qp: int = 0, r1: int = 0, r2: int = 0, r3: int = 0,
+      imm: int = 0) -> Instruction:  # noqa: E743 (deliberate short name)
+    return Instruction(opcode, qp=qp, r1=r1, r2=r2, r3=r3, imm=imm)
+
+
+def program(instructions: Sequence[Instruction],
+            functions: Optional[List[FunctionInfo]] = None,
+            name: str = "test") -> Program:
+    """Build a Program, appending HALT if the code does not end with one."""
+    code = list(instructions)
+    if not code or code[-1].opcode is not Opcode.HALT:
+        code.append(I(Opcode.HALT))
+    return Program(code, functions or [], entry=0, name=name)
+
+
+def run(instructions: Sequence[Instruction], **kwargs):
+    """Assemble + execute; returns the ExecutionResult."""
+    from repro.arch.executor import FunctionalSimulator
+
+    return FunctionalSimulator(program(instructions), **kwargs).run()

@@ -1,0 +1,35 @@
+"""Anti-π bit tests."""
+
+from repro.due.anti_pi import anti_pi_bit, anti_pi_suppresses
+from repro.isa.encoding import Field, field_bits
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+
+class TestAntiPiBit:
+    def test_set_for_neutral_types(self):
+        for opcode in (Opcode.NOP, Opcode.PREFETCH, Opcode.HINT):
+            assert anti_pi_bit(Instruction(opcode))
+
+    def test_clear_for_everything_else(self):
+        for opcode in (Opcode.ADD, Opcode.LD, Opcode.ST, Opcode.BR,
+                       Opcode.OUT, Opcode.CMP_EQ, Opcode.MOVI):
+            assert not anti_pi_bit(Instruction(opcode))
+
+
+class TestSuppression:
+    def test_non_opcode_bits_suppressed(self):
+        nop = Instruction(Opcode.NOP)
+        for field in (Field.QP, Field.R1, Field.R2, Field.R3, Field.IMM7):
+            for bit in field_bits(field):
+                assert anti_pi_suppresses(nop, bit)
+
+    def test_opcode_bits_not_suppressed(self):
+        nop = Instruction(Opcode.NOP)
+        for bit in field_bits(Field.OPCODE):
+            assert not anti_pi_suppresses(nop, bit)
+
+    def test_non_neutral_never_suppressed(self):
+        add = Instruction(Opcode.ADD, r1=1, r2=2, r3=3)
+        for bit in range(41):
+            assert not anti_pi_suppresses(add, bit)

@@ -1,0 +1,60 @@
+"""Tests for architectural state."""
+
+from repro.arch.state import ADDRESS_MASK, WORD_MASK, ArchState
+
+
+class TestRegisters:
+    def test_r0_reads_zero(self):
+        state = ArchState()
+        state.write_gpr(0, 123)
+        assert state.read_gpr(0) == 0
+
+    def test_write_read(self):
+        state = ArchState()
+        state.write_gpr(5, 42)
+        assert state.read_gpr(5) == 42
+
+    def test_64_bit_wrap(self):
+        state = ArchState()
+        state.write_gpr(5, WORD_MASK + 3)
+        assert state.read_gpr(5) == 2
+
+    def test_negative_values_wrap(self):
+        state = ArchState()
+        state.write_gpr(5, -1)
+        assert state.read_gpr(5) == WORD_MASK
+
+
+class TestPredicates:
+    def test_p0_always_true(self):
+        state = ArchState()
+        state.write_predicate(0, False)
+        assert state.read_predicate(0) is True
+
+    def test_default_false(self):
+        assert ArchState().read_predicate(7) is False
+
+    def test_write_read(self):
+        state = ArchState()
+        state.write_predicate(7, True)
+        assert state.read_predicate(7) is True
+
+
+class TestMemory:
+    def test_unmapped_reads_zero(self):
+        assert ArchState().load(0x1234) == 0
+
+    def test_store_load(self):
+        state = ArchState()
+        state.store(0x1234, 99)
+        assert state.load(0x1234) == 99
+
+    def test_address_masking(self):
+        state = ArchState()
+        state.store(ADDRESS_MASK + 1 + 0x10, 7)  # wraps to 0x10
+        assert state.load(0x10) == 7
+
+    def test_value_masking(self):
+        state = ArchState()
+        state.store(0x10, WORD_MASK + 5)
+        assert state.load(0x10) == 4

@@ -1,0 +1,72 @@
+"""Bit-weight rule tests (repro.avf.ace)."""
+
+import pytest
+
+from repro.analysis.deadcode import DynClass
+from repro.avf.ace import WRONG_PATH_CATEGORY, BitWeights, bit_weights_for
+from repro.isa.encoding import ENCODING_BITS, OPCODE_BITS, R1_BITS
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.pipeline.iq import OccupancyInterval, OccupantKind
+
+
+def interval(kind, seq=0):
+    return OccupancyInterval(
+        seq=None if kind is OccupantKind.WRONG_PATH else seq,
+        instruction=Instruction(Opcode.ADD, r1=1, r2=2, r3=3),
+        kind=kind, alloc_cycle=0, issue_cycle=5, dealloc_cycle=9)
+
+
+class TestBitWeights:
+    def test_must_cover_encoding(self):
+        with pytest.raises(ValueError):
+            BitWeights(10, 10, "x")
+
+    def test_category_required_with_unace(self):
+        with pytest.raises(ValueError):
+            BitWeights(ENCODING_BITS - 1, 1, None)
+        with pytest.raises(ValueError):
+            BitWeights(ENCODING_BITS, 0, "x")
+
+
+class TestRules:
+    def test_live_all_ace(self):
+        w = bit_weights_for(interval(OccupantKind.COMMITTED), DynClass.LIVE)
+        assert w.ace_bits == ENCODING_BITS and w.unace_bits == 0
+
+    def test_neutral_opcode_only(self):
+        w = bit_weights_for(interval(OccupantKind.COMMITTED),
+                            DynClass.NEUTRAL)
+        assert w.ace_bits == OPCODE_BITS
+        assert w.unace_category == "neutral"
+
+    def test_dead_dest_specifier_only(self):
+        for cls in (DynClass.FDD_REG, DynClass.FDD_REG_RETURN,
+                    DynClass.TDD_REG, DynClass.FDD_MEM, DynClass.TDD_MEM):
+            w = bit_weights_for(interval(OccupantKind.COMMITTED), cls)
+            assert w.ace_bits == R1_BITS
+            assert w.unace_category == cls.value
+
+    def test_pred_false_nothing_ace(self):
+        w = bit_weights_for(interval(OccupantKind.COMMITTED),
+                            DynClass.PRED_FALSE)
+        assert w.ace_bits == 0
+
+    def test_wrong_path(self):
+        w = bit_weights_for(interval(OccupantKind.WRONG_PATH), None)
+        assert w.ace_bits == 0
+        assert w.unace_category == WRONG_PATH_CATEGORY
+
+    def test_squashed_conservative_uses_class(self):
+        w = bit_weights_for(interval(OccupantKind.SQUASHED), DynClass.LIVE,
+                            squash_victims_harmless=False)
+        assert w.ace_bits == ENCODING_BITS
+
+    def test_squashed_harmless_is_unace(self):
+        w = bit_weights_for(interval(OccupantKind.SQUASHED), DynClass.LIVE,
+                            squash_victims_harmless=True)
+        assert w.ace_bits == 0
+
+    def test_committed_requires_class(self):
+        with pytest.raises(ValueError):
+            bit_weights_for(interval(OccupantKind.COMMITTED), None)

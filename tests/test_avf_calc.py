@@ -1,0 +1,40 @@
+"""IqAvfReport assembly tests."""
+
+import pytest
+
+from repro.avf.avf_calc import compute_iq_avf
+from repro.avf.occupancy import AccountingPolicy
+
+
+class TestReport:
+    def test_fields_match_breakdown(self, small_pipeline, small_deadness):
+        report = compute_iq_avf("x", small_pipeline, small_deadness)
+        assert report.sdc_avf == report.breakdown.sdc_avf
+        assert report.due_avf == report.breakdown.due_avf
+        assert report.false_due_avf == report.breakdown.false_due_avf
+        assert report.cycles == small_pipeline.cycles
+        assert report.committed == small_pipeline.committed
+
+    def test_mitf_ratios(self, small_pipeline, small_deadness):
+        report = compute_iq_avf("x", small_pipeline, small_deadness)
+        assert report.ipc_over_sdc_avf == pytest.approx(
+            report.ipc / report.sdc_avf)
+        assert report.ipc_over_due_avf == pytest.approx(
+            report.ipc / report.due_avf)
+
+    def test_components_sum(self, small_pipeline, small_deadness):
+        report = compute_iq_avf("x", small_pipeline, small_deadness)
+        assert sum(report.false_due_components().values()) == pytest.approx(
+            report.false_due_avf)
+
+    def test_policy_threaded(self, small_pipeline, small_deadness):
+        conservative = compute_iq_avf("x", small_pipeline, small_deadness,
+                                      AccountingPolicy.CONSERVATIVE)
+        read_gated = compute_iq_avf("x", small_pipeline, small_deadness,
+                                    AccountingPolicy.READ_GATED)
+        assert read_gated.sdc_avf <= conservative.sdc_avf
+
+    def test_residency_sums_to_one(self, small_pipeline, small_deadness):
+        report = compute_iq_avf("x", small_pipeline, small_deadness)
+        assert sum(report.residency_summary().values()) == pytest.approx(
+            1.0, abs=0.02)

@@ -1,0 +1,125 @@
+"""Unit and property tests for repro.util.bitops."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitops import (
+    bit_is_set,
+    clear_bit,
+    extract_field,
+    flip_bit,
+    insert_field,
+    mask,
+    popcount,
+    set_bit,
+)
+
+values = st.integers(min_value=0, max_value=(1 << 64) - 1)
+bits = st.integers(min_value=0, max_value=63)
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_small(self):
+        assert mask(4) == 0b1111
+
+    def test_41_bits(self):
+        assert mask(41) == (1 << 41) - 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestBitOps:
+    def test_set_bit(self):
+        assert set_bit(0, 3) == 8
+
+    def test_set_bit_idempotent(self):
+        assert set_bit(8, 3) == 8
+
+    def test_clear_bit(self):
+        assert clear_bit(0b1111, 1) == 0b1101
+
+    def test_clear_unset_bit(self):
+        assert clear_bit(0b1001, 1) == 0b1001
+
+    def test_flip_set(self):
+        assert flip_bit(0, 5) == 32
+
+    def test_flip_clear(self):
+        assert flip_bit(32, 5) == 0
+
+    def test_bit_is_set(self):
+        assert bit_is_set(0b100, 2)
+        assert not bit_is_set(0b100, 1)
+
+    def test_negative_bit_rejected(self):
+        for fn in (set_bit, clear_bit, flip_bit, bit_is_set):
+            with pytest.raises(ValueError):
+                fn(1, -1)
+
+    @given(values, bits)
+    def test_flip_twice_is_identity(self, value, bit):
+        assert flip_bit(flip_bit(value, bit), bit) == value
+
+    @given(values, bits)
+    def test_flip_changes_exactly_one_bit(self, value, bit):
+        assert popcount(value ^ flip_bit(value, bit)) == 1
+
+    @given(values, bits)
+    def test_set_then_query(self, value, bit):
+        assert bit_is_set(set_bit(value, bit), bit)
+
+    @given(values, bits)
+    def test_clear_then_query(self, value, bit):
+        assert not bit_is_set(clear_bit(value, bit), bit)
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert popcount(0) == 0
+
+    def test_all_ones(self):
+        assert popcount(mask(41)) == 41
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    @given(values, bits)
+    def test_set_bit_increments(self, value, bit):
+        cleared = clear_bit(value, bit)
+        assert popcount(set_bit(cleared, bit)) == popcount(cleared) + 1
+
+
+class TestFields:
+    def test_extract(self):
+        assert extract_field(0b110100, lo=2, width=3) == 0b101
+
+    def test_insert(self):
+        assert insert_field(0, lo=2, width=3, field=0b101) == 0b10100
+
+    def test_insert_overwrites(self):
+        word = insert_field(mask(8), lo=2, width=3, field=0)
+        assert extract_field(word, 2, 3) == 0
+
+    def test_insert_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            insert_field(0, lo=0, width=3, field=8)
+
+    @given(values, st.integers(0, 30), st.integers(1, 16))
+    def test_roundtrip(self, value, lo, width):
+        field = value & mask(width)
+        assert extract_field(insert_field(0, lo, width, field), lo, width) \
+            == field
+
+    @given(values, st.integers(0, 30), st.integers(1, 16))
+    def test_insert_preserves_other_bits(self, value, lo, width):
+        field = mask(width)
+        inserted = insert_field(value, lo, width, field)
+        outside = ~(mask(width) << lo)
+        assert inserted & outside == value & outside

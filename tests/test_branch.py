@@ -1,0 +1,58 @@
+"""Branch-predictor tests."""
+
+import pytest
+
+from repro.pipeline.branch import GShareBranchPredictor
+from repro.util.rng import DeterministicRng
+
+
+class TestGShare:
+    def test_learns_always_taken(self):
+        predictor = GShareBranchPredictor(history_bits=0)
+        for _ in range(8):
+            predictor.update(pc=100, taken=True)
+        assert predictor.predict(100)
+
+    def test_learns_loop_pattern(self):
+        # A loop backedge taken many times then falling through once:
+        # the predictor should be near-perfect after warmup.
+        predictor = GShareBranchPredictor()
+        mispredicts = 0
+        for _ in range(50):
+            for i in range(20):
+                taken = i < 19
+                if predictor.update(pc=7, taken=taken) != taken:
+                    mispredicts += 1
+        assert mispredicts / predictor.predictions < 0.2
+
+    def test_random_stream_near_half(self):
+        predictor = GShareBranchPredictor()
+        rng = DeterministicRng(42)
+        for _ in range(4000):
+            predictor.update(pc=9, taken=rng.bernoulli(0.5))
+        assert 0.35 < predictor.mispredict_rate < 0.65
+
+    def test_counters_saturate(self):
+        predictor = GShareBranchPredictor(table_bits=4, history_bits=0)
+        for _ in range(100):
+            predictor.update(pc=0, taken=True)
+        # One not-taken must not flip the prediction (2-bit hysteresis).
+        predictor.update(pc=0, taken=False)
+        assert predictor.predict(0)
+
+    def test_rate_zero_before_use(self):
+        assert GShareBranchPredictor().mispredict_rate == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GShareBranchPredictor(table_bits=0)
+        with pytest.raises(ValueError):
+            GShareBranchPredictor(history_bits=-1)
+
+    def test_distinct_pcs_do_not_alias_much(self):
+        predictor = GShareBranchPredictor(history_bits=0)
+        for _ in range(10):
+            predictor.update(pc=1, taken=True)
+            predictor.update(pc=2, taken=False)
+        assert predictor.predict(1)
+        assert not predictor.predict(2)

@@ -1,0 +1,95 @@
+"""Chip-level error-budget tests."""
+
+import pytest
+
+from repro.avf.budget import ChipBudget, StructureContribution
+from repro.avf.mitf import mttf_years_from_fit
+
+
+def iq(detected=False):
+    return StructureContribution(
+        name="instruction queue", bits=64 * 41, raw_fit_per_bit=1e-3,
+        sdc_avf=0.29, due_avf=0.62, detected=detected)
+
+
+class TestStructure:
+    def test_raw_fit(self):
+        assert iq().raw_fit == pytest.approx(64 * 41 * 1e-3)
+
+    def test_unprotected_contributes_sdc_only(self):
+        structure = iq(detected=False)
+        assert structure.sdc_fit > 0
+        assert structure.due_fit == 0.0
+
+    def test_detected_contributes_due_only(self):
+        structure = iq(detected=True)
+        assert structure.sdc_fit == 0.0
+        assert structure.due_fit == pytest.approx(
+            structure.raw_fit * 0.62)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StructureContribution("x", bits=0, raw_fit_per_bit=1e-3,
+                                  sdc_avf=0.1)
+        with pytest.raises(ValueError):
+            StructureContribution("x", bits=10, raw_fit_per_bit=1e-3,
+                                  sdc_avf=1.5)
+
+
+class TestBudget:
+    def _chip(self):
+        budget = ChipBudget(sdc_mttf_target_years=1000,
+                            due_mttf_target_years=10)
+        budget.add(iq(detected=False))
+        budget.add(StructureContribution(
+            "branch predictor", bits=32 * 1024, raw_fit_per_bit=1e-3,
+            sdc_avf=0.0))  # predictor strikes are architecturally benign
+        budget.add(StructureContribution(
+            "register file", bits=128 * 64, raw_fit_per_bit=1e-3,
+            sdc_avf=0.0, due_avf=0.25, detected=True))
+        return budget
+
+    def test_sums(self):
+        budget = self._chip()
+        assert budget.sdc_fit == pytest.approx(iq().sdc_fit)
+        assert budget.due_fit > 0
+
+    def test_mttf_consistent_with_fit(self):
+        budget = self._chip()
+        assert budget.sdc_mttf_years() == pytest.approx(
+            mttf_years_from_fit(budget.sdc_fit))
+
+    def test_targets(self):
+        budget = self._chip()
+        assert isinstance(budget.meets_sdc_target(), bool)
+        headroom = budget.headroom()
+        assert headroom["sdc"] == pytest.approx(
+            budget.sdc_mttf_years() / 1000)
+
+    def test_dominant_contributor(self):
+        budget = self._chip()
+        assert budget.dominant_contributor("sdc") == "instruction queue"
+        assert budget.dominant_contributor("due") == "register file"
+
+    def test_dominant_none_when_empty(self):
+        assert ChipBudget().dominant_contributor("sdc") is None
+
+    def test_duplicate_rejected(self):
+        budget = self._chip()
+        with pytest.raises(ValueError):
+            budget.add(iq())
+
+    def test_zero_fit_means_infinite_mttf(self):
+        budget = ChipBudget()
+        assert budget.sdc_mttf_years() == float("inf")
+        assert budget.meets_sdc_target()
+
+    def test_paper_scenario_protection_shifts_category(self):
+        """Adding parity to the IQ zeroes its SDC term but creates a DUE
+        term bigger than the SDC term it removed (paper Section 4.1)."""
+        unprotected = ChipBudget()
+        unprotected.add(iq(detected=False))
+        protected = ChipBudget()
+        protected.add(iq(detected=True))
+        assert protected.sdc_fit == 0.0
+        assert protected.due_fit > unprotected.sdc_fit

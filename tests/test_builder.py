@@ -1,0 +1,84 @@
+"""Tests for the CodeBuilder mini-assembler."""
+
+import pytest
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.workloads.builder import CodeBuilder
+
+
+class TestEmit:
+    def test_pcs_sequential(self):
+        builder = CodeBuilder()
+        assert builder.emit(Instruction(Opcode.NOP)) == 0
+        assert builder.emit(Instruction(Opcode.NOP)) == 1
+        assert builder.here == 2
+
+
+class TestLabels:
+    def test_forward_fixup(self):
+        builder = CodeBuilder()
+        target = builder.label("fwd")
+        builder.emit_control(Opcode.BR, target)
+        builder.emit(Instruction(Opcode.NOP))
+        builder.bind(target)
+        builder.emit(Instruction(Opcode.HALT))
+        program = builder.build()
+        assert program.branch_target(0) == 2
+
+    def test_backward_fixup(self):
+        builder = CodeBuilder()
+        head = builder.label("head")
+        builder.bind(head)
+        builder.emit(Instruction(Opcode.NOP))
+        builder.emit_control(Opcode.BR, head)
+        program = builder.build()
+        assert program.branch_target(1) == 0
+
+    def test_unbound_label_rejected_at_build(self):
+        builder = CodeBuilder()
+        builder.emit_control(Opcode.BR, builder.label("nowhere"))
+        with pytest.raises(ValueError):
+            builder.build()
+
+    def test_double_bind_rejected(self):
+        builder = CodeBuilder()
+        label = builder.label()
+        builder.bind(label)
+        with pytest.raises(ValueError):
+            builder.bind(label)
+
+    def test_emit_control_rejects_non_control(self):
+        builder = CodeBuilder()
+        with pytest.raises(ValueError):
+            builder.emit_control(Opcode.ADD, builder.label())
+
+
+class TestFunctions:
+    def test_extents_recorded(self):
+        builder = CodeBuilder()
+        builder.begin_function("f")
+        builder.emit(Instruction(Opcode.NOP))
+        builder.emit(Instruction(Opcode.RET))
+        builder.end_function()
+        builder.emit(Instruction(Opcode.HALT))
+        program = builder.build()
+        assert program.functions[0].name == "f"
+        assert (program.functions[0].entry, program.functions[0].end) == (0, 2)
+
+    def test_nested_function_rejected(self):
+        builder = CodeBuilder()
+        builder.begin_function("a")
+        with pytest.raises(ValueError):
+            builder.begin_function("b")
+
+    def test_end_without_begin_rejected(self):
+        with pytest.raises(ValueError):
+            CodeBuilder().end_function()
+
+    def test_unclosed_function_rejected_at_build(self):
+        builder = CodeBuilder()
+        builder.begin_function("open")
+        builder.emit(Instruction(Opcode.HALT))
+        with pytest.raises(ValueError):
+            builder.build()

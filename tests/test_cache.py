@@ -1,0 +1,134 @@
+"""Cache and hierarchy tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.hierarchy import AccessResult, CacheHierarchy, HierarchyConfig
+
+
+def tiny_cache(ways=2, sets=2, line=4):
+    return Cache(CacheConfig(size_words=ways * sets * line,
+                             line_words=line, ways=ways, name="T"))
+
+
+class TestCacheConfig:
+    def test_geometry_validated(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_words=0, line_words=4, ways=2)
+        with pytest.raises(ValueError):
+            CacheConfig(size_words=100, line_words=4, ways=2)  # not divisible
+        with pytest.raises(ValueError):
+            CacheConfig(size_words=24, line_words=3, ways=2)  # line not pow2
+
+    def test_num_sets(self):
+        config = CacheConfig(size_words=64, line_words=4, ways=2)
+        assert config.num_sets == 8
+
+
+class TestCacheBehaviour:
+    def test_miss_then_hit(self):
+        cache = tiny_cache()
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.access(3)  # same line
+        assert (cache.hits, cache.misses) == (2, 1)
+
+    def test_different_lines_in_same_set(self):
+        cache = tiny_cache(ways=2, sets=2, line=4)
+        # Lines 0 and 2 map to set 0 (2 sets): both fit in 2 ways.
+        cache.access(0)
+        cache.access(2 * 4)
+        assert cache.access(0)
+        assert cache.access(2 * 4)
+
+    def test_lru_eviction(self):
+        cache = tiny_cache(ways=2, sets=1, line=4)
+        cache.access(0)  # line 0
+        cache.access(4)  # line 1
+        cache.access(8)  # line 2 -> evicts line 0
+        assert not cache.access(0)
+
+    def test_lru_updated_on_hit(self):
+        cache = tiny_cache(ways=2, sets=1, line=4)
+        cache.access(0)
+        cache.access(4)
+        cache.access(0)  # touch line 0: line 1 becomes LRU
+        cache.access(8)  # evicts line 1
+        assert cache.access(0)
+        assert not cache.access(4)
+
+    def test_probe_does_not_mutate(self):
+        cache = tiny_cache()
+        cache.access(0)
+        hits, misses = cache.hits, cache.misses
+        assert cache.probe(0)
+        assert not cache.probe(64)
+        assert (cache.hits, cache.misses) == (hits, misses)
+
+    def test_miss_rate(self):
+        cache = tiny_cache()
+        assert cache.miss_rate == 0.0
+        cache.access(0)
+        cache.access(0)
+        assert cache.miss_rate == pytest.approx(0.5)
+
+    def test_reset_stats(self):
+        cache = tiny_cache()
+        cache.access(0)
+        cache.reset_stats()
+        assert cache.accesses == 0
+
+    @given(st.lists(st.integers(0, 1023), min_size=1, max_size=200))
+    def test_set_occupancy_bounded_by_ways(self, addresses):
+        cache = tiny_cache(ways=2, sets=2, line=4)
+        for address in addresses:
+            cache.access(address)
+        for tags in cache._sets:
+            assert len(tags) <= 2
+
+    @given(st.lists(st.integers(0, 1023), min_size=1, max_size=200))
+    def test_repeat_of_last_address_always_hits(self, addresses):
+        cache = tiny_cache()
+        for address in addresses:
+            cache.access(address)
+        assert cache.probe(addresses[-1])
+
+
+class TestHierarchy:
+    def test_default_geometry(self):
+        config = HierarchyConfig()
+        assert config.l0.size_words < config.l1.size_words \
+            < config.l2.size_words
+
+    def test_miss_levels_and_latency(self):
+        hierarchy = CacheHierarchy()
+        first = hierarchy.access(0)
+        assert first.l0_miss and first.l1_miss and first.l2_miss
+        assert first.latency == hierarchy.config.memory_latency
+        assert first.hit_level == "MEM"
+        second = hierarchy.access(0)
+        assert not second.l0_miss
+        assert second.latency == hierarchy.config.l0_latency
+        assert second.hit_level == "L0"
+
+    def test_l1_hit_after_l0_eviction(self):
+        hierarchy = CacheHierarchy()
+        line = hierarchy.config.l0.line_words
+        l0_lines = hierarchy.config.l0.size_words // line
+        hierarchy.access(0)
+        # Stream enough lines to evict line 0 from L0 but not from L1.
+        for i in range(1, l0_lines + 1):
+            hierarchy.access(i * line)
+        result = hierarchy.access(0)
+        assert result.l0_miss and not result.l1_miss
+        assert result.latency == hierarchy.config.l1_latency
+        assert result.hit_level == "L1"
+
+    def test_reset_stats(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(0)
+        hierarchy.reset_stats()
+        assert hierarchy.l0.accesses == 0
+        assert hierarchy.l2.accesses == 0

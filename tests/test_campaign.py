@@ -1,0 +1,122 @@
+"""Monte-Carlo campaign tests."""
+
+import pytest
+
+from repro.due.outcomes import FaultOutcome
+from repro.due.tracking import TrackingLevel
+from repro.faults.campaign import CampaignConfig, CampaignResult, run_campaign
+
+
+@pytest.fixture(scope="module")
+def campaigns(small_program, small_execution, small_pipeline):
+    def make(**kwargs):
+        config = CampaignConfig(trials=150, seed=77, **kwargs)
+        return run_campaign(small_program, small_execution, small_pipeline,
+                            config)
+
+    return {
+        "unprotected": make(),
+        "parity": make(parity=True, tracking=TrackingLevel.PARITY_ONLY),
+        "tracked": make(parity=True, tracking=TrackingLevel.MEM_PI),
+    }
+
+
+class TestConfig:
+    def test_trials_validated(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(trials=0)
+
+
+class TestCampaign:
+    def test_counts_sum_to_trials(self, campaigns):
+        for result in campaigns.values():
+            assert result.trials == 150
+
+    def test_unprotected_has_no_due(self, campaigns):
+        result = campaigns["unprotected"]
+        assert result.counts[FaultOutcome.TRUE_DUE] == 0
+        assert result.counts[FaultOutcome.FALSE_DUE] == 0
+
+    def test_parity_has_no_sdc(self, campaigns):
+        # With parity and no tracking, every read corruption is detected.
+        result = campaigns["parity"]
+        assert result.counts[FaultOutcome.SDC] == 0
+        assert result.counts[FaultOutcome.TRAP] == 0
+
+    def test_parity_due_at_least_unprotected_sdc(self, campaigns):
+        # Detection converts SDC into (true) DUE and adds false DUE.
+        assert campaigns["parity"].due_avf_estimate >= \
+            campaigns["unprotected"].sdc_avf_estimate
+
+    def test_tracking_reduces_false_due(self, campaigns):
+        assert campaigns["tracked"].false_due_estimate <= \
+            campaigns["parity"].false_due_estimate
+
+    def test_tracking_soundness(self, campaigns):
+        # Suppressed-but-harmful outcomes are the known trace-replay
+        # artifact; they must be rare.
+        tracked = campaigns["tracked"]
+        assert tracked.tracker_misses <= 0.05 * tracked.trials
+
+    def test_rates_and_confidence(self, campaigns):
+        result = campaigns["unprotected"]
+        rate = result.rate(FaultOutcome.BENIGN_UNREAD)
+        assert 0.0 < rate < 1.0
+        assert 0.0 < result.rate_confidence(FaultOutcome.BENIGN_UNREAD) < 0.2
+
+    def test_summary_nonempty(self, campaigns):
+        summary = campaigns["unprotected"].summary()
+        assert summary
+        assert sum(summary.values()) == pytest.approx(1.0)
+
+    def test_determinism(self, small_program, small_execution,
+                         small_pipeline):
+        config = CampaignConfig(trials=40, seed=5)
+        first = run_campaign(small_program, small_execution, small_pipeline,
+                             config)
+        second = run_campaign(small_program, small_execution, small_pipeline,
+                              config)
+        assert first.counts == second.counts
+
+
+class TestCrossValidation:
+    def test_injection_sdc_below_conservative_analytic(
+            self, campaigns, small_pipeline, small_deadness):
+        """ACE analysis is deliberately conservative: the injection-based
+        SDC AVF must not exceed it (beyond noise)."""
+        from repro.avf.occupancy import compute_breakdown
+
+        analytic = compute_breakdown(small_pipeline, small_deadness).sdc_avf
+        injected = campaigns["unprotected"].sdc_avf_estimate
+        margin = campaigns["unprotected"].rate_confidence(
+            FaultOutcome.SDC, FaultOutcome.TRAP, FaultOutcome.HANG)
+        assert injected <= analytic + margin
+
+
+class TestEcc:
+    def test_ecc_eliminates_all_errors(self, small_program, small_execution,
+                                       small_pipeline):
+        result = run_campaign(
+            small_program, small_execution, small_pipeline,
+            CampaignConfig(trials=120, seed=9, ecc=True))
+        assert result.counts[FaultOutcome.SDC] == 0
+        assert result.counts[FaultOutcome.TRUE_DUE] == 0
+        assert result.counts[FaultOutcome.FALSE_DUE] == 0
+        assert result.counts[FaultOutcome.TRAP] == 0
+        assert result.counts[FaultOutcome.CORRECTED] > 0
+
+    def test_ecc_and_parity_exclusive(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(ecc=True, parity=True)
+
+    def test_corrected_rate_tracks_read_fraction(self, small_program,
+                                                 small_execution,
+                                                 small_pipeline):
+        ecc = run_campaign(small_program, small_execution, small_pipeline,
+                           CampaignConfig(trials=150, seed=9, ecc=True))
+        plain = run_campaign(small_program, small_execution, small_pipeline,
+                             CampaignConfig(trials=150, seed=9))
+        # ECC corrects exactly the strikes that are read before dealloc:
+        # the benign_unread rate must agree between the two campaigns.
+        assert ecc.rate(FaultOutcome.BENIGN_UNREAD) == pytest.approx(
+            plain.rate(FaultOutcome.BENIGN_UNREAD), abs=0.02)

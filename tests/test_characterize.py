@@ -1,0 +1,54 @@
+"""Workload characterization tests."""
+
+import pytest
+
+from repro.experiments.common import ExperimentSettings
+from repro.workloads.characterize import (
+    WorkloadCharacter,
+    characterize,
+    format_characterization,
+)
+from repro.workloads.spec2000 import get_profile
+
+SETTINGS = ExperimentSettings(target_instructions=8000, seed=13)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    profiles = [get_profile(n) for n in
+                ("crafty", "mcf", "swim", "lucas")]
+    return characterize(SETTINGS, profiles)
+
+
+class TestCharacterize:
+    def test_fraction_bounds(self, rows):
+        for row in rows:
+            for value in (row.neutral_frac, row.load_frac, row.store_frac,
+                          row.branch_frac, row.pred_false_frac,
+                          row.dead_frac, row.mispredict_rate):
+                assert 0.0 <= value <= 1.0
+            assert row.instructions > 1000
+            assert row.ipc > 0
+
+    def test_suite_contrasts(self, rows):
+        by_name = {r.name: r for r in rows}
+        # FP codes carry more neutral padding; int codes mispredict more.
+        fp_neutral = (by_name["swim"].neutral_frac
+                      + by_name["lucas"].neutral_frac) / 2
+        int_neutral = (by_name["crafty"].neutral_frac
+                       + by_name["mcf"].neutral_frac) / 2
+        assert fp_neutral > int_neutral
+        assert by_name["crafty"].mispredict_rate > \
+            by_name["lucas"].mispredict_rate
+
+    def test_memory_behaviour_measured(self, rows):
+        for row in rows:
+            assert row.l0_miss_per_kilo > 0
+            assert row.l1_miss_per_kilo >= 0
+            assert row.l0_miss_per_kilo >= row.l1_miss_per_kilo
+
+    def test_format(self, rows):
+        text = format_characterization(rows)
+        assert "Workload characterization" in text
+        assert "suite means" in text
+        assert "crafty" in text

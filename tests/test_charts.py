@@ -1,0 +1,57 @@
+"""ASCII chart tests."""
+
+import pytest
+
+from repro.util.charts import bar_chart, series_chart
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        text = bar_chart([("a", 0.5), ("bb", 1.0)], width=10)
+        lines = text.splitlines()
+        assert lines[0].startswith("a  |")
+        assert "##########" in lines[1]  # full bar for the max
+        assert "#####....." in lines[0]  # half bar
+
+    def test_title(self):
+        text = bar_chart([("a", 1.0)], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_values_shown_as_percent(self):
+        text = bar_chart([("a", 0.29)], maximum=1.0)
+        assert "29.0%" in text
+
+    def test_clamps_above_maximum(self):
+        text = bar_chart([("a", 2.0)], width=10, maximum=1.0)
+        assert "##########" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([])
+
+    def test_zero_values_ok(self):
+        text = bar_chart([("a", 0.0)], width=5)
+        assert "....." in text
+
+
+class TestSeriesChart:
+    def test_markers_and_legend(self):
+        text = series_chart(
+            ["16", "512"],
+            {"base": [0.1, 0.5], "plus": [0.2, 0.9]},
+            width=20)
+        assert "B" in text and "P" in text
+        assert "B=base" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            series_chart(["a"], {"s": [1.0, 2.0]})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            series_chart(["a"], {})
+
+    def test_monotone_series_moves_right(self):
+        text = series_chart(["lo", "hi"], {"s": [0.1, 1.0]}, width=30)
+        lines = text.splitlines()
+        assert lines[0].index("S") < lines[1].index("S")

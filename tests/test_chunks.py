@@ -1,0 +1,86 @@
+"""Fetch-chunk π-bit tests."""
+
+import pytest
+
+from repro.due.tracking import TrackingLevel
+from repro.isa.opcodes import Opcode
+from repro.pipeline.chunks import ChunkPiModel, iter_chunks
+from tests.helpers import I, run
+
+
+class TestIterChunks:
+    def test_plain_stream_splits_evenly(self):
+        result = run([I(Opcode.NOP)] * 12)
+        chunks = list(iter_chunks(result.trace, 4))
+        # 12 NOPs + HALT = 13 committed ops.
+        assert chunks == [(0, 4), (4, 4), (8, 4), (12, 1)]
+
+    def test_taken_branch_ends_chunk(self):
+        result = run([
+            I(Opcode.NOP),
+            I(Opcode.BR, imm=2),  # taken
+            I(Opcode.NOP),  # skipped
+            I(Opcode.NOP),
+        ])
+        chunks = list(iter_chunks(result.trace, 4))
+        assert chunks[0] == (0, 2)  # NOP + taken BR
+
+    def test_chunks_cover_trace(self, small_execution):
+        chunks = list(iter_chunks(small_execution.trace, 6))
+        assert sum(size for _, size in chunks) == len(small_execution.trace)
+        position = 0
+        for first, size in chunks:
+            assert first == position
+            position += size
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            list(iter_chunks([], 0))
+
+
+class TestChunkPi:
+    def test_all_clearable_chunk_is_silent(self):
+        result = run([
+            I(Opcode.NOP),
+            I(Opcode.NOP),
+            I(Opcode.MOVI, r1=9, imm=5),  # FDD
+            I(Opcode.MOVI, r1=9, imm=6),  # FDD (overwritten at end: dead)
+        ])
+        model = ChunkPiModel(result.trace, TrackingLevel.REG_PI,
+                             chunk_size=4)
+        decision = model.process_chunk_fault(0, 4)
+        assert not decision.signaled
+        assert decision.blamed == ()
+
+    def test_one_live_instruction_blames_chunk(self):
+        result = run([
+            I(Opcode.NOP),
+            I(Opcode.MOVI, r1=1, imm=5),  # live
+            I(Opcode.OUT, r2=1),
+        ])
+        model = ChunkPiModel(result.trace, TrackingLevel.REG_PI,
+                             chunk_size=3)
+        decision = model.process_chunk_fault(0, 3)
+        assert decision.signaled
+        assert 1 in decision.blamed or 2 in decision.blamed
+
+    def test_bounds_checked(self, small_execution):
+        model = ChunkPiModel(small_execution.trace, TrackingLevel.REG_PI)
+        with pytest.raises(ValueError):
+            model.process_chunk_fault(-1, 4)
+        with pytest.raises(ValueError):
+            model.process_chunk_fault(len(small_execution.trace), 1)
+
+    def test_amplification_at_least_one(self, small_execution):
+        model = ChunkPiModel(small_execution.trace, TrackingLevel.STORE_PI,
+                             chunk_size=6)
+        amplification = model.false_positive_amplification(limit=400)
+        assert amplification >= 1.0
+
+    def test_bigger_chunks_amplify_more(self, small_execution):
+        small = ChunkPiModel(small_execution.trace, TrackingLevel.STORE_PI,
+                             chunk_size=2)
+        large = ChunkPiModel(small_execution.trace, TrackingLevel.STORE_PI,
+                             chunk_size=12)
+        assert large.false_positive_amplification(limit=400) >= \
+            small.false_positive_amplification(limit=400) * 0.98

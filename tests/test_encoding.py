@@ -1,0 +1,134 @@
+"""Encode/decode tests, including totality under corruption."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import encoding
+from repro.isa.encoding import (
+    ENCODING_BITS,
+    Field,
+    decode,
+    encode,
+    field_at_bit,
+    field_bits,
+    live_fields,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.util.bitops import flip_bit
+
+_ARCHITECTED = [op for op in Opcode if op is not Opcode.ILLEGAL]
+
+regs = st.integers(0, 127)
+preds = st.integers(0, 63)
+
+
+def build(opcode, qp=0, r1=0, r2=0, r3=0, imm=0):
+    return Instruction(opcode, qp=qp, r1=r1, r2=r2, r3=r3, imm=imm)
+
+
+@st.composite
+def instructions(draw):
+    opcode = draw(st.sampled_from(_ARCHITECTED))
+    qp = draw(preds)
+    r1 = draw(regs)
+    if opcode in (Opcode.MOVI, Opcode.BR, Opcode.CALL):
+        return build(opcode, qp=qp, r1=r1,
+                     imm=draw(st.integers(-(1 << 20), (1 << 20) - 1)))
+    if opcode in (Opcode.ADDI, Opcode.ANDI):
+        return build(opcode, qp=qp, r1=r1, r2=draw(regs),
+                     imm=draw(st.integers(-(1 << 13), (1 << 13) - 1)))
+    return build(opcode, qp=qp, r1=r1, r2=draw(regs), r3=draw(regs),
+                 imm=draw(st.integers(-64, 63)))
+
+
+class TestLayout:
+    def test_field_at_every_bit(self):
+        fields = [field_at_bit(b) for b in range(ENCODING_BITS)]
+        assert fields.count(Field.QP) == 6
+        assert fields.count(Field.R1) == 7
+        assert fields.count(Field.R2) == 7
+        assert fields.count(Field.R3) == 7
+        assert fields.count(Field.IMM7) == 7
+        assert fields.count(Field.OPCODE) == 7
+
+    def test_field_at_bit_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            field_at_bit(41)
+        with pytest.raises(ValueError):
+            field_at_bit(-1)
+
+    def test_field_bits_consistent(self):
+        for field in Field:
+            for bit in field_bits(field):
+                assert field_at_bit(bit) is field
+
+    def test_live_fields_always_include_opcode(self):
+        for op in Opcode:
+            assert Field.OPCODE in live_fields(op)
+
+    def test_neutral_live_fields_are_opcode_only(self):
+        for op in (Opcode.NOP, Opcode.HINT, Opcode.PREFETCH):
+            assert live_fields(op) == frozenset({Field.OPCODE})
+
+
+class TestRoundTrip:
+    @given(instructions())
+    def test_encode_decode_identity(self, instruction):
+        assert decode(encode(instruction)) == instruction
+
+    @given(instructions())
+    def test_encoding_fits_41_bits(self, instruction):
+        assert 0 <= encode(instruction) < (1 << ENCODING_BITS)
+
+    def test_signed_imm7(self):
+        inst = build(Opcode.LD, r1=5, r2=6, imm=-64)
+        assert decode(encode(inst)).imm == -64
+
+    def test_signed_imm14(self):
+        inst = build(Opcode.ADDI, r1=5, r2=6, imm=-8192)
+        assert decode(encode(inst)).imm == -8192
+
+    def test_signed_imm21(self):
+        inst = build(Opcode.BR, imm=-(1 << 20))
+        assert decode(encode(inst)).imm == -(1 << 20)
+
+    def test_oversized_immediate_rejected(self):
+        with pytest.raises(ValueError):
+            encode(build(Opcode.LD, imm=64))
+        with pytest.raises(ValueError):
+            encode(build(Opcode.MOVI, imm=1 << 20))
+
+    def test_decode_rejects_out_of_range_word(self):
+        with pytest.raises(ValueError):
+            decode(1 << ENCODING_BITS)
+        with pytest.raises(ValueError):
+            decode(-1)
+
+
+class TestTotalityUnderCorruption:
+    @given(instructions(), st.integers(0, ENCODING_BITS - 1))
+    def test_any_single_bit_flip_decodes(self, instruction, bit):
+        corrupted = decode(flip_bit(encode(instruction), bit))
+        assert isinstance(corrupted, Instruction)
+
+    @given(instructions(), st.integers(0, ENCODING_BITS - 1))
+    def test_non_opcode_flip_preserves_opcode(self, instruction, bit):
+        if field_at_bit(bit) is Field.OPCODE:
+            return
+        corrupted = decode(flip_bit(encode(instruction), bit))
+        assert corrupted.opcode is instruction.opcode
+
+    def test_opcode_flip_can_become_illegal(self):
+        word = encode(build(Opcode.HALT))  # 23; flipping bit 40 -> 87
+        corrupted = decode(flip_bit(word, 40))
+        assert corrupted.opcode is Opcode.ILLEGAL
+
+    @given(instructions(), st.integers(0, ENCODING_BITS - 1))
+    def test_reencoding_architected_corruption_is_stable(self, instr, bit):
+        word = flip_bit(encode(instr), bit)
+        corrupted = decode(word)
+        if corrupted.opcode is Opcode.ILLEGAL:
+            return
+        assert decode(encode(corrupted)) == corrupted

@@ -1,0 +1,267 @@
+"""Functional-simulator semantics tests on hand-written programs."""
+
+import pytest
+
+from repro.arch.executor import ExecutionLimits, FunctionalSimulator
+from repro.arch.result import ExecutionStatus
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import FunctionInfo, Program
+from tests.helpers import I, program, run
+
+
+def outputs_of(*instructions):
+    result = run(list(instructions))
+    assert result.status is ExecutionStatus.HALTED
+    return result.outputs
+
+
+class TestAluSemantics:
+    def _binop(self, opcode, a, b):
+        return outputs_of(
+            I(Opcode.MOVI, r1=1, imm=a),
+            I(Opcode.MOVI, r1=2, imm=b),
+            I(opcode, r1=3, r2=1, r3=2),
+            I(Opcode.OUT, r2=3),
+        )[0]
+
+    def test_add(self):
+        assert self._binop(Opcode.ADD, 5, 7) == 12
+
+    def test_sub_wraps(self):
+        assert self._binop(Opcode.SUB, 3, 5) == (1 << 64) - 2
+
+    def test_and_or_xor(self):
+        assert self._binop(Opcode.AND, 0b1100, 0b1010) == 0b1000
+        assert self._binop(Opcode.OR, 0b1100, 0b1010) == 0b1110
+        assert self._binop(Opcode.XOR, 0b1100, 0b1010) == 0b0110
+
+    def test_shl_mod_64(self):
+        assert self._binop(Opcode.SHL, 1, 4) == 16
+        assert self._binop(Opcode.SHL, 1, 64) == 1  # shift amount mod 64
+
+    def test_shr_logical(self):
+        assert self._binop(Opcode.SHR, 16, 3) == 2
+
+    def test_mul_wraps(self):
+        big = (1 << 20) + 3
+        assert self._binop(Opcode.MUL, big, big) == (big * big) & ((1 << 64) - 1)
+
+    def test_addi_negative(self):
+        assert outputs_of(
+            I(Opcode.MOVI, r1=1, imm=10),
+            I(Opcode.ADDI, r1=2, r2=1, imm=-3),
+            I(Opcode.OUT, r2=2),
+        )[0] == 7
+
+    def test_andi(self):
+        assert outputs_of(
+            I(Opcode.MOVI, r1=1, imm=0b1111),
+            I(Opcode.ANDI, r1=2, r2=1, imm=0b0101),
+            I(Opcode.OUT, r2=2),
+        )[0] == 0b0101
+
+    def test_movi_negative(self):
+        assert outputs_of(
+            I(Opcode.MOVI, r1=1, imm=-2),
+            I(Opcode.OUT, r2=1),
+        )[0] == (1 << 64) - 2
+
+    def test_writes_to_r0_discarded(self):
+        assert outputs_of(
+            I(Opcode.MOVI, r1=0, imm=55),
+            I(Opcode.OUT, r2=0),
+        )[0] == 0
+
+
+class TestMemorySemantics:
+    def test_store_load_roundtrip(self):
+        assert outputs_of(
+            I(Opcode.MOVI, r1=1, imm=0x100),
+            I(Opcode.MOVI, r1=2, imm=77),
+            I(Opcode.ST, r1=2, r2=1, imm=4),
+            I(Opcode.LD, r1=3, r2=1, imm=4),
+            I(Opcode.OUT, r2=3),
+        )[0] == 77
+
+    def test_unmapped_load_is_zero(self):
+        assert outputs_of(
+            I(Opcode.MOVI, r1=1, imm=0x100),
+            I(Opcode.LD, r1=3, r2=1, imm=0),
+            I(Opcode.OUT, r2=3),
+        )[0] == 0
+
+    def test_trace_records_addresses(self):
+        result = run([
+            I(Opcode.MOVI, r1=1, imm=0x20),
+            I(Opcode.ST, r1=1, r2=1, imm=1),
+            I(Opcode.LD, r1=2, r2=1, imm=1),
+        ])
+        store = result.trace[1]
+        load = result.trace[2]
+        assert store.is_store and store.mem_addr == 0x21
+        assert load.is_load and load.mem_addr == 0x21
+
+
+class TestCompareAndPredication:
+    def test_cmp_eq_sets_predicate(self):
+        result = run([
+            I(Opcode.MOVI, r1=1, imm=4),
+            I(Opcode.CMP_EQ, r1=5, r2=1, r3=1),
+            I(Opcode.ADD, qp=5, r1=2, r2=1, r3=1),
+            I(Opcode.OUT, r2=2),
+        ])
+        assert result.outputs[0] == 8
+
+    def test_false_predicate_nullifies(self):
+        result = run([
+            I(Opcode.MOVI, r1=2, imm=9),
+            I(Opcode.ADD, qp=7, r1=2, r2=2, r3=2),  # p7 false
+            I(Opcode.OUT, r2=2),
+        ])
+        assert result.outputs[0] == 9
+        assert result.trace[1].predicated_false
+        assert result.trace[1].dest_gpr == 0  # no architectural write
+
+    def test_cmp_lt_signed(self):
+        result = run([
+            I(Opcode.MOVI, r1=1, imm=-5),
+            I(Opcode.MOVI, r1=2, imm=3),
+            I(Opcode.CMP_LT, r1=6, r2=1, r3=2),
+            I(Opcode.MOVI, qp=6, r1=3, imm=1),
+            I(Opcode.OUT, r2=3),
+        ])
+        assert result.outputs[0] == 1  # -5 < 3 signed
+
+    def test_cmp_ne(self):
+        result = run([
+            I(Opcode.MOVI, r1=1, imm=2),
+            I(Opcode.CMP_NE, r1=6, r2=1, r3=0),
+            I(Opcode.MOVI, qp=6, r1=3, imm=42),
+            I(Opcode.OUT, r2=3),
+        ])
+        assert result.outputs[0] == 42
+
+    def test_writes_to_p0_discarded(self):
+        result = run([
+            I(Opcode.CMP_NE, r1=64, r2=0, r3=0),  # p0 <- (0 != 0) = False
+            I(Opcode.MOVI, qp=0, r1=3, imm=5),  # still executes: p0 true
+            I(Opcode.OUT, r2=3),
+        ])
+        assert result.outputs[0] == 5
+
+
+class TestControlFlow:
+    def test_taken_branch_skips(self):
+        result = run([
+            I(Opcode.BR, imm=2),  # qp=0 (p0): always taken
+            I(Opcode.MOVI, r1=1, imm=99),  # skipped
+            I(Opcode.OUT, r2=1),
+        ])
+        assert result.outputs[0] == 0
+
+    def test_nullified_branch_falls_through(self):
+        result = run([
+            I(Opcode.BR, qp=9, imm=2),  # p9 false: not taken
+            I(Opcode.MOVI, r1=1, imm=99),
+            I(Opcode.OUT, r2=1),
+        ])
+        assert result.outputs[0] == 99
+        assert not result.trace[0].branch_taken
+
+    def test_loop_counts(self):
+        # r1 counts down from 3; r2 accumulates.
+        result = run([
+            I(Opcode.MOVI, r1=1, imm=3),
+            I(Opcode.MOVI, r1=2, imm=0),
+            I(Opcode.ADDI, r1=2, r2=2, imm=1),  # loop head (pc 2)
+            I(Opcode.ADDI, r1=1, r2=1, imm=-1),
+            I(Opcode.CMP_NE, r1=5, r2=1, r3=0),
+            I(Opcode.BR, qp=5, imm=-3),
+            I(Opcode.OUT, r2=2),
+        ])
+        assert result.outputs[0] == 3
+
+    def test_call_ret(self):
+        code = [
+            I(Opcode.MOVI, r1=1, imm=5),
+            I(Opcode.CALL, imm=4),  # -> pc 5
+            I(Opcode.OUT, r2=8),
+            I(Opcode.HALT),
+            I(Opcode.NOP),  # padding
+            I(Opcode.ADDI, r1=8, r2=1, imm=1),  # leaf
+            I(Opcode.RET),
+        ]
+        result = FunctionalSimulator(
+            Program(code, [FunctionInfo("leaf", 5, 7)], entry=0)).run()
+        assert result.status is ExecutionStatus.HALTED
+        assert result.outputs[0] == 6
+
+    def test_invocation_records(self):
+        code = [
+            I(Opcode.CALL, imm=2),
+            I(Opcode.HALT),
+            I(Opcode.RET),
+        ]
+        result = FunctionalSimulator(Program(code, [], entry=0)).run()
+        assert len(result.invocations) == 2
+        inv = result.invocations[1]
+        assert inv.entry_pc == 2 and inv.returned
+        assert result.trace[1].invocation == 1  # the RET runs in invocation 1
+        assert result.invocations[0].call_seq == -1
+
+
+class TestAbnormalTermination:
+    def test_illegal_opcode_traps(self):
+        result = run([Instruction(Opcode.ILLEGAL)])
+        assert result.status is ExecutionStatus.TRAP_ILLEGAL
+
+    def test_ret_underflow(self):
+        result = run([I(Opcode.RET)])
+        assert result.status is ExecutionStatus.RET_UNDERFLOW
+
+    def test_jump_out_of_range_traps(self):
+        result = run([I(Opcode.BR, imm=1000)])
+        assert result.status is ExecutionStatus.TRAP_ILLEGAL
+
+    def test_infinite_loop_hits_limit(self):
+        sim = FunctionalSimulator(
+            program([I(Opcode.BR, imm=0)]),
+            limits=ExecutionLimits(max_instructions=100))
+        assert sim.run().status is ExecutionStatus.LIMIT
+
+    def test_limits_validated(self):
+        with pytest.raises(ValueError):
+            ExecutionLimits(max_instructions=0)
+
+
+class TestOverride:
+    def test_override_changes_one_dynamic_instruction(self):
+        code = [
+            I(Opcode.MOVI, r1=1, imm=5),
+            I(Opcode.OUT, r2=1),
+        ]
+        sim = FunctionalSimulator(program(code))
+        baseline = sim.run()
+        corrupted = sim.run(
+            override_seq=0,
+            override_instruction=I(Opcode.MOVI, r1=1, imm=6))
+        assert baseline.outputs == (5,)
+        assert corrupted.outputs == (6,)
+
+    def test_override_requires_both_args(self):
+        sim = FunctionalSimulator(program([I(Opcode.NOP)]))
+        with pytest.raises(ValueError):
+            sim.run(override_seq=0)
+
+    def test_record_trace_false_keeps_outputs(self):
+        sim = FunctionalSimulator(program([
+            I(Opcode.MOVI, r1=1, imm=5), I(Opcode.OUT, r2=1)]))
+        result = sim.run(record_trace=False)
+        assert result.outputs == (5,)
+        assert result.trace == []
+
+    def test_determinism(self):
+        sim = FunctionalSimulator(program([
+            I(Opcode.MOVI, r1=1, imm=5), I(Opcode.OUT, r2=1)]))
+        assert sim.run().output_signature() == sim.run().output_signature()

@@ -1,0 +1,104 @@
+"""Executor control-flow depth and ordering tests."""
+
+import pytest
+
+from repro.arch.executor import FunctionalSimulator
+from repro.isa.opcodes import Opcode
+from repro.isa.program import FunctionInfo, Program
+from tests.helpers import I
+
+
+class TestNestedCalls:
+    def _nested_program(self):
+        code = [
+            I(Opcode.CALL, imm=3),  # 0: main -> outer
+            I(Opcode.OUT, r2=8),  # 1
+            I(Opcode.HALT),  # 2
+            I(Opcode.CALL, imm=3),  # 3: outer -> inner
+            I(Opcode.ADDI, r1=8, r2=8, imm=1),  # 4
+            I(Opcode.RET),  # 5
+            I(Opcode.MOVI, r1=8, imm=10),  # 6: inner
+            I(Opcode.RET),  # 7
+        ]
+        return Program(code, [FunctionInfo("outer", 3, 6),
+                              FunctionInfo("inner", 6, 8)], entry=0)
+
+    def test_two_level_nesting(self):
+        result = FunctionalSimulator(self._nested_program()).run()
+        assert result.clean
+        assert result.outputs == (11,)
+        assert len(result.invocations) == 3
+
+    def test_invocation_nesting_structure(self):
+        result = FunctionalSimulator(self._nested_program()).run()
+        outer = result.invocations[1]
+        inner = result.invocations[2]
+        assert outer.entry_pc == 3 and inner.entry_pc == 6
+        # Inner returns before outer does.
+        assert inner.return_seq < outer.return_seq
+        # The ADDI after the inner call runs in the outer invocation.
+        addi = next(op for op in result.trace
+                    if op.instruction.opcode is Opcode.ADDI)
+        assert addi.invocation == 1
+
+    def test_recursion_bounded_by_limit(self):
+        # A function calling itself forever must hit the budget.
+        from repro.arch.executor import ExecutionLimits
+        from repro.arch.result import ExecutionStatus
+
+        code = [I(Opcode.CALL, imm=0), I(Opcode.HALT)]
+        result = FunctionalSimulator(
+            Program(code, [], entry=0),
+            ExecutionLimits(max_instructions=500)).run()
+        assert result.status is ExecutionStatus.LIMIT
+
+
+class TestOutputOrdering:
+    def test_outputs_in_program_order(self):
+        code = [
+            I(Opcode.MOVI, r1=1, imm=1),
+            I(Opcode.OUT, r2=1),
+            I(Opcode.MOVI, r1=1, imm=2),
+            I(Opcode.OUT, r2=1),
+            I(Opcode.MOVI, r1=1, imm=3),
+            I(Opcode.OUT, r2=1),
+            I(Opcode.HALT),
+        ]
+        result = FunctionalSimulator(Program(code, [], entry=0)).run()
+        assert result.outputs == (1, 2, 3)
+
+    def test_out_reads_current_value(self):
+        code = [
+            I(Opcode.MOVI, r1=1, imm=9),
+            I(Opcode.OUT, r2=1),
+            I(Opcode.ADDI, r1=1, r2=1, imm=1),
+            I(Opcode.OUT, r2=1),
+            I(Opcode.HALT),
+        ]
+        result = FunctionalSimulator(Program(code, [], entry=0)).run()
+        assert result.outputs == (9, 10)
+
+
+class TestBranchEdgeCases:
+    def test_branch_to_self_loops(self):
+        from repro.arch.executor import ExecutionLimits
+        from repro.arch.result import ExecutionStatus
+
+        code = [I(Opcode.BR, imm=0)]
+        result = FunctionalSimulator(
+            Program(code, [], entry=0),
+            ExecutionLimits(max_instructions=100)).run()
+        assert result.status is ExecutionStatus.LIMIT
+
+    def test_backward_jump_before_entry_traps(self):
+        from repro.arch.result import ExecutionStatus
+
+        code = [I(Opcode.BR, imm=-5), I(Opcode.HALT)]
+        result = FunctionalSimulator(Program(code, [], entry=0)).run()
+        assert result.status is ExecutionStatus.TRAP_ILLEGAL
+
+    def test_next_pc_recorded_for_taken_branch(self):
+        code = [I(Opcode.BR, imm=2), I(Opcode.NOP), I(Opcode.HALT)]
+        result = FunctionalSimulator(Program(code, [], entry=0)).run()
+        assert result.trace[0].branch_taken
+        assert result.trace[0].next_pc == 2

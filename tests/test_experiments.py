@@ -1,0 +1,178 @@
+"""Experiment-module tests at miniature scale.
+
+These exercise the full exhibit pipeline (all the paper's tables and
+figures) over a handful of profiles and small traces, asserting the
+*qualitative* relationships the paper reports.
+"""
+
+import pytest
+
+from repro.due.tracking import TrackingLevel
+from repro.experiments import figure1, figure2, figure3, figure4
+from repro.experiments import occupancy as occupancy_exp
+from repro.experiments import table1, table2
+from repro.experiments.common import (
+    ExperimentSettings,
+    average_reports,
+    clear_caches,
+    run_benchmark,
+)
+from repro.pipeline.config import Trigger
+from repro.workloads.spec2000 import ALL_PROFILES, get_profile
+
+SETTINGS = ExperimentSettings(target_instructions=10_000, seed=42)
+PROFILES = [get_profile(name) for name in
+            ("crafty", "mcf", "ammp", "swim")]
+
+
+class TestCommon:
+    def test_run_benchmark_memoised(self):
+        first = run_benchmark(PROFILES[0], SETTINGS, Trigger.NONE)
+        second = run_benchmark(PROFILES[0], SETTINGS, Trigger.NONE)
+        assert first is second
+
+    def test_average_reports(self):
+        reports = [run_benchmark(p, SETTINGS, Trigger.NONE).report
+                   for p in PROFILES[:2]]
+        means = average_reports(reports)
+        assert means["sdc_avf"] == pytest.approx(
+            (reports[0].sdc_avf + reports[1].sdc_avf) / 2)
+
+    def test_average_reports_empty(self):
+        with pytest.raises(ValueError):
+            average_reports([])
+
+    def test_report_fields(self):
+        report = run_benchmark(PROFILES[0], SETTINGS, Trigger.NONE).report
+        assert 0 < report.sdc_avf < 1
+        assert report.due_avf > report.sdc_avf
+        assert report.ipc_over_sdc_avf > report.ipc_over_due_avf
+        residency = report.residency_summary()
+        assert sum(residency.values()) == pytest.approx(1.0, abs=0.02)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table1.run(SETTINGS, PROFILES)
+
+    def test_three_rows(self, result):
+        assert [r.design_point for r in result.rows] == [
+            "No squashing", "Squash on L1 load misses",
+            "Squash on L0 load misses"]
+
+    def test_squash_reduces_avf(self, result):
+        base, l1, l0 = result.rows
+        assert l1.sdc_avf < base.sdc_avf
+        assert l1.due_avf < base.due_avf
+        assert l0.sdc_avf <= l1.sdc_avf * 1.1
+
+    def test_squash_costs_ipc(self, result):
+        base, l1, l0 = result.rows
+        assert l1.ipc <= base.ipc
+        assert l0.ipc <= l1.ipc * 1.02
+
+    def test_mitf_improves(self, result):
+        assert result.mitf_gain("Squash on L1 load misses", "sdc") > 0
+        assert result.mitf_gain("Squash on L1 load misses", "due") > 0
+
+    def test_format(self, result):
+        text = table1.format_result(result)
+        assert "Design Point" in text
+        assert "MITF" in text
+
+
+class TestTable2:
+    def test_catalogue_format(self):
+        text = table2.format_result()
+        assert "crafty" in text and "wupwise" in text
+        assert "120,600 M" in text
+
+
+class TestOccupancy:
+    def test_rows_and_averages(self):
+        result = occupancy_exp.run(SETTINGS, PROFILES)
+        avg = result.averages()
+        assert sum(avg.values()) == pytest.approx(1.0, abs=0.02)
+        text = occupancy_exp.format_result(result)
+        assert "Parity-protected DUE AVF" in text
+
+    def test_redecode_ablation_raises_false_due(self):
+        result = occupancy_exp.run(SETTINGS, PROFILES)
+        for row in result.rows:
+            assert row.false_due_with_redecode > row.valid_unace
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure2.run(SETTINGS, PROFILES)
+
+    def test_coverage_monotone(self, result):
+        for row in result.rows:
+            values = [row.coverage[lvl] for lvl in (
+                TrackingLevel.PI_COMMIT, TrackingLevel.ANTI_PI,
+                TrackingLevel.PET, TrackingLevel.REG_PI,
+                TrackingLevel.STORE_PI, TrackingLevel.MEM_PI)]
+            assert values == sorted(values)
+
+    def test_full_coverage_at_mem_pi(self, result):
+        assert result.average_coverage(TrackingLevel.MEM_PI) == \
+            pytest.approx(1.0)
+
+    def test_format(self, result):
+        text = figure2.format_result(result)
+        assert "anti-pi" in text
+        assert "100%" in text
+
+
+class TestFigure3:
+    def test_curves(self):
+        result = figure3.run(SETTINGS, PROFILES, sizes=(64, 512, 4096))
+        for label, _ in figure3.SERIES:
+            values = [result.coverage(label, s) for s in (64, 512, 4096)]
+            assert values == sorted(values)
+        # Cumulative series nest at every size.
+        for size in (64, 512, 4096):
+            series = [result.coverage(label, size)
+                      for label, _ in figure3.SERIES]
+            assert series == sorted(series)
+        assert "512" in figure3.format_result(result)
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure4.run(SETTINGS, PROFILES)
+
+    def test_relative_avfs_below_one(self, result):
+        assert result.average_relative_sdc() < 1.0
+        assert result.average_relative_due() < 1.0
+
+    def test_combined_beats_squash_alone(self, result):
+        # DUE reduction (squash + tracking) exceeds SDC reduction
+        # (squash alone) on average, as in the paper (57 % vs 26 %).
+        assert result.average_relative_due() < result.average_relative_sdc()
+
+    def test_ipc_cost_small(self, result):
+        assert -0.25 < result.average_ipc_change() <= 0.01
+
+    def test_row_lookup(self, result):
+        assert result.row("mcf").benchmark == "mcf"
+        with pytest.raises(KeyError):
+            result.row("nope")
+
+    def test_format(self, result):
+        text = figure4.format_result(result)
+        assert "Average relative SDC AVF" in text
+
+
+class TestFigure1:
+    def test_campaign_columns(self):
+        result = figure1.run(SETTINGS, benchmark="crafty", trials=60)
+        text = figure1.format_result(result)
+        assert "unprotected" in text
+        assert result.parity.counts  # some outcomes observed
+        # Parity never leaves silent corruption undetected.
+        from repro.due.outcomes import FaultOutcome
+        assert result.parity.counts[FaultOutcome.SDC] == 0

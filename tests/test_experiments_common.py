@@ -1,0 +1,66 @@
+"""Tests for the shared experiment plumbing."""
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentSettings,
+    clear_caches,
+    functional_parts,
+    run_benchmark,
+)
+from repro.pipeline.config import Trigger
+from repro.workloads.spec2000 import get_profile
+
+SETTINGS = ExperimentSettings(target_instructions=5000, seed=31)
+
+
+class TestFunctionalParts:
+    def test_cached_by_identity(self):
+        profile = get_profile("gap")
+        first = functional_parts(profile, SETTINGS)
+        second = functional_parts(profile, SETTINGS)
+        assert first[0] is second[0]
+
+    def test_different_seed_not_shared(self):
+        profile = get_profile("gap")
+        a = functional_parts(profile, SETTINGS)
+        b = functional_parts(profile,
+                             ExperimentSettings(target_instructions=5000,
+                                                seed=32))
+        assert a[0] is not b[0]
+
+    def test_clear_caches(self):
+        profile = get_profile("gap")
+        first = functional_parts(profile, SETTINGS)
+        clear_caches()
+        second = functional_parts(profile, SETTINGS)
+        assert first[0] is not second[0]
+
+
+class TestMachineFor:
+    def test_profile_bubble_applied(self):
+        profile = get_profile("vortex-lendian3")
+        machine = SETTINGS.machine_for(profile, Trigger.NONE)
+        assert machine.fetch_bubble_prob == profile.fetch_bubble_prob
+
+    def test_trigger_applied(self):
+        profile = get_profile("gap")
+        machine = SETTINGS.machine_for(profile, Trigger.L0_MISS)
+        assert machine.squash.trigger is Trigger.L0_MISS
+
+
+class TestRunBenchmark:
+    def test_distinct_triggers_distinct_runs(self):
+        profile = get_profile("gap")
+        base = run_benchmark(profile, SETTINGS, Trigger.NONE)
+        squashed = run_benchmark(profile, SETTINGS, Trigger.L1_MISS)
+        assert base is not squashed
+        # The functional half is shared between triggers.
+        assert base.program is squashed.program
+        assert base.execution is squashed.execution
+
+    def test_default_settings_work(self):
+        # Exercise the ExperimentSettings() default path cheaply by
+        # ensuring the settings object itself is valid.
+        settings = ExperimentSettings()
+        assert settings.target_instructions >= 10_000

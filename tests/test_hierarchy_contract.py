@@ -1,0 +1,56 @@
+"""Workload-vs-hierarchy contract: regions behave as designed."""
+
+import pytest
+
+from repro.memory.hierarchy import CacheHierarchy
+from repro.workloads import codegen
+
+
+class TestRegionContracts:
+    def _steady_state(self, addresses, hierarchy):
+        """Replay twice; measure the second pass (steady state)."""
+        for address in addresses:
+            hierarchy.access(address)
+        hierarchy.reset_stats()
+        results = [hierarchy.access(address) for address in addresses]
+        return results
+
+    def test_hot_region_is_l0_resident(self):
+        hierarchy = CacheHierarchy()
+        addresses = [codegen.HOT_BASE + i for i in range(0, 57, 8)] * 20
+        results = self._steady_state(addresses, hierarchy)
+        assert all(not r.l0_miss for r in results)
+
+    def test_warm_stream_misses_l0_hits_l1(self):
+        hierarchy = CacheHierarchy()
+        addresses = [codegen.WARM_BASE + (i * 8) % codegen.WARM_WORDS
+                     for i in range(3 * codegen.WARM_WORDS // 8)]
+        # Steady state: after the first wrap, every line access misses L0
+        # (footprint exceeds it) but hits L1 (footprint fits).
+        tail = self._steady_state(addresses, hierarchy)[-128:]
+        l0_miss_rate = sum(r.l0_miss for r in tail) / len(tail)
+        l1_miss_rate = sum(r.l1_miss for r in tail) / len(tail)
+        assert l0_miss_rate > 0.9
+        assert l1_miss_rate < 0.1
+
+    def test_cold_stream_misses_l1_hits_l2(self):
+        hierarchy = CacheHierarchy()
+        index = 0
+        addresses = []
+        for _ in range(1200):
+            index = (index + 296) & (codegen.COLD_WORDS - 1)
+            addresses.append(codegen.COLD_BASE + index)
+        tail = self._steady_state(addresses, hierarchy)[-300:]
+        l1_miss_rate = sum(r.l1_miss for r in tail) / len(tail)
+        l2_miss_rate = sum(r.l2_miss for r in tail) / len(tail)
+        assert l1_miss_rate > 0.9
+        assert l2_miss_rate < 0.05
+
+    def test_region_sizes_bracket_cache_capacities(self):
+        hierarchy = CacheHierarchy()
+        l0 = hierarchy.config.l0.size_words
+        l1 = hierarchy.config.l1.size_words
+        l2 = hierarchy.config.l2.size_words
+        assert 64 <= l0  # hot region (64 words) fits L0
+        assert l0 < codegen.WARM_WORDS <= l1
+        assert l1 < codegen.COLD_WORDS <= l2

@@ -1,0 +1,77 @@
+"""Tests for the Instruction dataclass."""
+
+import pytest
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import InstrClass, Opcode
+
+
+class TestValidation:
+    def test_qp_range(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, qp=64)
+
+    def test_reg_ranges(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, r1=128)
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, r2=-1)
+
+
+class TestProperties:
+    def test_dest_gpr(self):
+        assert Instruction(Opcode.ADD, r1=5).dest_gpr == 5
+        assert Instruction(Opcode.ST, r1=5).dest_gpr == 0
+        assert Instruction(Opcode.ADD, r1=0).dest_gpr == 0  # r0 discarded
+
+    def test_writes_gpr_excludes_r0(self):
+        assert not Instruction(Opcode.ADD, r1=0).writes_gpr
+        assert Instruction(Opcode.ADD, r1=1).writes_gpr
+
+    def test_dest_predicate(self):
+        assert Instruction(Opcode.CMP_EQ, r1=70).dest_predicate == 6
+        assert Instruction(Opcode.ADD, r1=70).dest_predicate == 0
+
+    def test_source_gprs_skip_r0(self):
+        inst = Instruction(Opcode.ADD, r1=1, r2=0, r3=9)
+        assert inst.source_gprs() == (9,)
+
+    def test_store_sources(self):
+        inst = Instruction(Opcode.ST, r1=3, r2=4, imm=1)
+        assert set(inst.source_gprs()) == {3, 4}
+
+    def test_is_flags(self):
+        assert Instruction(Opcode.LD).is_load
+        assert Instruction(Opcode.ST).is_store
+        assert Instruction(Opcode.NOP).is_neutral
+        assert Instruction(Opcode.BR).is_control
+        assert not Instruction(Opcode.ADD).is_control
+
+    def test_instr_class(self):
+        assert Instruction(Opcode.MUL).instr_class is InstrClass.MUL
+
+    def test_with_qp(self):
+        inst = Instruction(Opcode.ADD, r1=1)
+        assert inst.with_qp(5).qp == 5
+        assert inst.qp == 0  # original untouched (frozen)
+
+    def test_frozen(self):
+        inst = Instruction(Opcode.ADD)
+        with pytest.raises(AttributeError):
+            inst.r1 = 3
+
+
+class TestStr:
+    @pytest.mark.parametrize("instruction,needle", [
+        (Instruction(Opcode.ADD, r1=1, r2=2, r3=3), "add r1 = r2, r3"),
+        (Instruction(Opcode.ADDI, r1=1, r2=2, imm=5), "addi r1 = r2, 5"),
+        (Instruction(Opcode.MOVI, r1=1, imm=7), "movi r1 = 7"),
+        (Instruction(Opcode.LD, r1=1, r2=2, imm=3), "ld r1 = [r2 + 3]"),
+        (Instruction(Opcode.ST, r1=1, r2=2, imm=3), "st [r2 + 3] = r1"),
+        (Instruction(Opcode.CMP_EQ, r1=5, r2=1, r3=2), "cmp_eq p5 = r1, r2"),
+        (Instruction(Opcode.BR, qp=3, imm=-4), "(p3) br -4"),
+        (Instruction(Opcode.OUT, r2=7), "out r7"),
+        (Instruction(Opcode.NOP), "nop"),
+    ])
+    def test_disassembly(self, instruction, needle):
+        assert str(instruction) == needle

@@ -1,0 +1,112 @@
+"""End-to-end integration tests across the whole stack."""
+
+import pytest
+
+from repro.avf.avf_calc import compute_iq_avf
+from repro.avf.occupancy import AccountingPolicy, compute_breakdown
+from repro.due.tracking import TrackingLevel, due_avf_with_tracking
+from repro.experiments.common import ExperimentSettings, run_benchmark
+from repro.pipeline.config import Trigger
+from repro.workloads.spec2000 import get_profile
+
+SETTINGS = ExperimentSettings(target_instructions=12_000, seed=2004)
+
+
+@pytest.fixture(scope="module")
+def crafty_base():
+    return run_benchmark(get_profile("crafty"), SETTINGS, Trigger.NONE)
+
+
+@pytest.fixture(scope="module")
+def crafty_l1():
+    return run_benchmark(get_profile("crafty"), SETTINGS, Trigger.L1_MISS)
+
+
+class TestEndToEnd:
+    def test_full_chain_consistency(self, crafty_base):
+        run = crafty_base
+        assert run.execution.clean
+        assert run.pipeline.committed == len(run.execution.trace)
+        assert len(run.deadness.classes) == len(run.execution.trace)
+        assert run.report.ipc == pytest.approx(run.pipeline.ipc)
+
+    def test_due_decomposition(self, crafty_base):
+        breakdown = crafty_base.report.breakdown
+        components = breakdown.false_due_components()
+        assert sum(components.values()) == pytest.approx(
+            breakdown.false_due_avf)
+        assert breakdown.due_avf == pytest.approx(
+            breakdown.sdc_avf + breakdown.false_due_avf)
+
+    def test_parity_more_than_doubles_error_rate(self, crafty_base):
+        # Paper Section 4.1: adding detection turns 29 % SDC into 62 % DUE.
+        breakdown = crafty_base.report.breakdown
+        assert breakdown.due_avf > 1.5 * breakdown.sdc_avf
+
+    def test_squash_plus_tracking_story(self, crafty_base, crafty_l1):
+        base_due = crafty_base.report.due_avf
+        combined_due = due_avf_with_tracking(crafty_l1.report.breakdown,
+                                             TrackingLevel.STORE_PI)
+        assert combined_due < base_due * 0.8
+
+    def test_tracking_never_below_true_due(self, crafty_l1):
+        breakdown = crafty_l1.report.breakdown
+        for level in TrackingLevel:
+            assert due_avf_with_tracking(breakdown, level) >= \
+                breakdown.true_due_avf - 1e-12
+
+    def test_policies_ordering_everywhere(self, crafty_l1):
+        conservative = compute_breakdown(
+            crafty_l1.pipeline, crafty_l1.deadness,
+            AccountingPolicy.CONSERVATIVE)
+        read_gated = compute_breakdown(
+            crafty_l1.pipeline, crafty_l1.deadness,
+            AccountingPolicy.READ_GATED)
+        assert read_gated.sdc_avf <= conservative.sdc_avf
+        assert read_gated.due_avf <= conservative.due_avf
+
+    def test_report_builder(self, crafty_base):
+        report = compute_iq_avf("crafty", crafty_base.pipeline,
+                                crafty_base.deadness)
+        assert report.sdc_avf == pytest.approx(crafty_base.report.sdc_avf)
+
+
+class TestSuiteLevelShape:
+    """Aggregate sanity over a mixed int/fp subset: the qualitative claims
+    of the paper's abstract must hold on our substrate."""
+
+    @pytest.fixture(scope="class")
+    def subset(self):
+        profiles = [get_profile(n) for n in
+                    ("crafty", "gzip-graphic", "ammp", "swim")]
+        base = [run_benchmark(p, SETTINGS, Trigger.NONE) for p in profiles]
+        l1 = [run_benchmark(p, SETTINGS, Trigger.L1_MISS) for p in profiles]
+        return base, l1
+
+    def test_squash_reduces_avf_more_than_ipc(self, subset):
+        base, l1 = subset
+        avf_ratio = (sum(r.report.sdc_avf for r in l1)
+                     / sum(r.report.sdc_avf for r in base))
+        ipc_ratio = (sum(r.report.ipc for r in l1)
+                     / sum(r.report.ipc for r in base))
+        assert avf_ratio < ipc_ratio  # MITF improves
+
+    def test_every_benchmark_keeps_ipc_sane(self, subset):
+        base, l1 = subset
+        for run in base + l1:
+            assert 0.3 < run.report.ipc < 4.0
+
+    def test_false_due_share_substantial(self, subset):
+        # Paper: false DUE is up to ~52 % of total DUE with parity only.
+        base, _ = subset
+        shares = [r.report.false_due_avf / r.report.due_avf for r in base]
+        assert max(shares) > 0.3
+
+    def test_int_wrong_path_exceeds_fp(self, subset):
+        base, _ = subset
+        def wrong_path_share(run):
+            comps = run.report.false_due_components()
+            return comps.get("wrong_path", 0.0)
+        int_share = (wrong_path_share(base[0]) + wrong_path_share(base[1]))
+        fp_share = (wrong_path_share(base[2]) + wrong_path_share(base[3]))
+        assert int_share > fp_share

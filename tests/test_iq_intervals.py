@@ -1,0 +1,61 @@
+"""OccupancyInterval and PipelineResult unit tests."""
+
+import pytest
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.pipeline.iq import OccupancyInterval, OccupantKind
+from repro.pipeline.result import PipelineResult
+
+
+def interval(alloc=0, issue=5, dealloc=9, kind=OccupantKind.COMMITTED,
+             seq=0):
+    return OccupancyInterval(
+        seq=None if kind is OccupantKind.WRONG_PATH else seq,
+        instruction=Instruction(Opcode.ADD, r1=1),
+        kind=kind, alloc_cycle=alloc, issue_cycle=issue,
+        dealloc_cycle=dealloc)
+
+
+class TestInterval:
+    def test_spans(self):
+        it = interval(alloc=2, issue=7, dealloc=10)
+        assert it.resident_cycles == 8
+        assert it.vulnerable_cycles == 5
+        assert it.ex_ace_cycles == 3
+        assert it.issued
+
+    def test_never_issued(self):
+        it = interval(issue=None, dealloc=9)
+        assert not it.issued
+        assert it.vulnerable_cycles == 0
+        assert it.ex_ace_cycles == 9
+
+    def test_repr(self):
+        assert "seq=0" in repr(interval())
+
+
+class TestPipelineResult:
+    def _result(self, intervals, cycles=10, entries=4):
+        return PipelineResult(cycles=cycles, committed=len(intervals),
+                              intervals=intervals, iq_entries=entries)
+
+    def test_ipc(self):
+        result = self._result([interval(), interval(seq=1)], cycles=10)
+        assert result.ipc == pytest.approx(0.2)
+
+    def test_ipc_zero_cycles(self):
+        result = self._result([], cycles=0)
+        assert result.ipc == 0.0
+
+    def test_total_entry_cycles(self):
+        result = self._result([], cycles=10, entries=4)
+        assert result.total_entry_cycles == 40
+
+    def test_occupancy_fraction(self):
+        result = self._result([interval(alloc=0, issue=5, dealloc=10)],
+                              cycles=10, entries=4)
+        assert result.occupancy_fraction() == pytest.approx(0.25)
+
+    def test_occupancy_zero_cycles(self):
+        assert self._result([], cycles=0).occupancy_fraction() == 0.0

@@ -1,0 +1,50 @@
+"""Macro-redundancy false-DUE comparison tests."""
+
+import pytest
+
+from repro.avf.occupancy import compute_breakdown
+from repro.due.macro import (
+    FALSE_SIGNAL_CATEGORIES,
+    RedundancyScheme,
+    compare_schemes,
+    false_due_avf,
+)
+
+
+@pytest.fixture(scope="module")
+def breakdown(small_pipeline, small_deadness):
+    return compute_breakdown(small_pipeline, small_deadness)
+
+
+class TestRanking:
+    def test_paper_ordering(self, breakdown):
+        """Lockstep >= RMT-all >= RMT-outputs in false-DUE exposure."""
+        lockstep = false_due_avf(breakdown, RedundancyScheme.LOCKSTEP)
+        rmt_all = false_due_avf(breakdown,
+                                RedundancyScheme.RMT_ALL_INSTRUCTIONS)
+        rmt_out = false_due_avf(breakdown, RedundancyScheme.RMT_OUTPUTS_ONLY)
+        assert lockstep >= rmt_all >= rmt_out
+        assert lockstep > rmt_out  # strict on a workload with wrong path
+
+    def test_lockstep_bounded_by_parity_false_due(self, breakdown):
+        # Lockstep never signals on neutral instructions, so it stays
+        # below the parity-protected queue's total false DUE.
+        assert false_due_avf(breakdown, RedundancyScheme.LOCKSTEP) <= \
+            breakdown.false_due_avf
+
+    def test_category_sets_nested(self):
+        lockstep = FALSE_SIGNAL_CATEGORIES[RedundancyScheme.LOCKSTEP]
+        rmt_all = FALSE_SIGNAL_CATEGORIES[
+            RedundancyScheme.RMT_ALL_INSTRUCTIONS]
+        rmt_out = FALSE_SIGNAL_CATEGORIES[RedundancyScheme.RMT_OUTPUTS_ONLY]
+        assert rmt_out < rmt_all < lockstep
+
+    def test_wrong_path_only_hits_lockstep(self):
+        for scheme, categories in FALSE_SIGNAL_CATEGORIES.items():
+            expected = scheme is RedundancyScheme.LOCKSTEP
+            assert ("wrong_path" in categories) == expected
+
+    def test_compare_schemes_keys(self, breakdown):
+        comparison = compare_schemes(breakdown)
+        assert set(comparison) == {"lockstep", "rmt_all", "rmt_outputs"}
+        assert all(0.0 <= v <= 1.0 for v in comparison.values())

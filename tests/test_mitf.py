@@ -1,0 +1,94 @@
+"""MITF / MTTF / FIT algebra tests (paper Section 3.2)."""
+
+import math
+
+import pytest
+
+from repro.avf.mitf import (
+    FIT_PER_MTBF_YEAR,
+    SoftErrorRateModel,
+    fit_from_mttf_years,
+    mitf,
+    mitf_ratio,
+    mttf_years_from_fit,
+)
+
+
+class TestConversions:
+    def test_paper_fit_constant(self):
+        # "An MTBF of one year equals 114,155 FIT".
+        assert FIT_PER_MTBF_YEAR == pytest.approx(114_155, rel=1e-3)
+
+    def test_roundtrip(self):
+        assert mttf_years_from_fit(fit_from_mttf_years(7.5)) == \
+            pytest.approx(7.5)
+
+    def test_one_year(self):
+        assert mttf_years_from_fit(FIT_PER_MTBF_YEAR) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mttf_years_from_fit(0.0)
+        with pytest.raises(ValueError):
+            fit_from_mttf_years(-1.0)
+
+
+class TestMitf:
+    def test_paper_example(self):
+        # "a processor running at 2 GHz with an average IPC of 2 and DUE
+        # MTTF of 10 years would have a DUE MITF of 1.3e18 instructions".
+        value = mitf(ipc=2.0, frequency_hz=2e9, mttf_years=10.0)
+        assert value == pytest.approx(1.26e18, rel=0.05)
+
+    def test_linear_in_ipc(self):
+        assert mitf(2.0, 1e9, 1.0) == pytest.approx(2 * mitf(1.0, 1e9, 1.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mitf(-1.0, 1e9, 1.0)
+        with pytest.raises(ValueError):
+            mitf(1.0, 0.0, 1.0)
+
+    def test_ratio(self):
+        assert mitf_ratio(1.21, 0.29) == pytest.approx(4.17, rel=0.01)
+
+    def test_ratio_zero_avf(self):
+        with pytest.raises(ValueError):
+            mitf_ratio(1.0, 0.0)
+
+    def test_tradeoff_rule(self):
+        # The paper's criterion: a mechanism that cuts AVF by more than it
+        # cuts IPC raises MITF.
+        base = mitf_ratio(1.21, 0.29)
+        good = mitf_ratio(1.19, 0.22)  # Table 1's L1 squash
+        assert good > base
+
+
+class TestSoftErrorRateModel:
+    def test_structure_fit_scales_with_avf(self):
+        model = SoftErrorRateModel(raw_fit_per_bit=1e-3, bits=1000)
+        assert model.fit(0.5) == pytest.approx(0.5)
+        assert model.raw_fit == pytest.approx(1.0)
+
+    def test_mttf_matches_conversion(self):
+        model = SoftErrorRateModel(raw_fit_per_bit=1e-3, bits=1000)
+        assert model.mttf_years(1.0) == pytest.approx(
+            mttf_years_from_fit(1.0))
+
+    def test_mitf_consistent(self):
+        model = SoftErrorRateModel(frequency_hz=2.5e9)
+        direct = mitf(1.2, 2.5e9, model.mttf_years(0.3))
+        assert model.mitf(1.2, 0.3) == pytest.approx(direct)
+
+    def test_avf_bounds(self):
+        model = SoftErrorRateModel()
+        with pytest.raises(ValueError):
+            model.fit(1.5)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SoftErrorRateModel(raw_fit_per_bit=0.0)
+
+    def test_lower_avf_more_instructions(self):
+        model = SoftErrorRateModel()
+        assert model.mitf(1.19, 0.22) > model.mitf(1.21, 0.29)

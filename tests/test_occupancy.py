@@ -1,0 +1,149 @@
+"""Occupancy integration tests with hand-computed expectations."""
+
+import pytest
+
+from repro.analysis.deadcode import DeadnessAnalysis, DynClass
+from repro.avf.occupancy import (
+    AccountingPolicy,
+    OccupancyBreakdown,
+    compute_breakdown,
+)
+from repro.isa.encoding import ENCODING_BITS, OPCODE_BITS, R1_BITS
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.pipeline.iq import OccupancyInterval, OccupantKind
+from repro.pipeline.result import PipelineResult
+
+
+def make_result(intervals, cycles=100, entries=4):
+    return PipelineResult(cycles=cycles, committed=len(intervals),
+                          intervals=intervals, iq_entries=entries)
+
+
+def interval(seq, kind, alloc, issue, dealloc):
+    return OccupancyInterval(
+        seq=seq if kind is not OccupantKind.WRONG_PATH else None,
+        instruction=Instruction(Opcode.ADD, r1=1),
+        kind=kind, alloc_cycle=alloc, issue_cycle=issue,
+        dealloc_cycle=dealloc)
+
+
+def deadness(classes, distances=None):
+    return DeadnessAnalysis(classes=list(classes),
+                            overwrite_distance=distances or {})
+
+
+class TestHandComputed:
+    def test_single_live_interval(self):
+        # One occupant, ACE for 10 of 100 cycles in one of 4 entries.
+        result = make_result(
+            [interval(0, OccupantKind.COMMITTED, 0, 10, 12)])
+        breakdown = compute_breakdown(result, deadness([DynClass.LIVE]))
+        expected = (ENCODING_BITS * 10) / (ENCODING_BITS * 4 * 100)
+        assert breakdown.sdc_avf == pytest.approx(expected)
+        assert breakdown.false_due_avf == 0.0
+        assert breakdown.ex_ace_fraction == pytest.approx(
+            (ENCODING_BITS * 2) / (ENCODING_BITS * 400))
+
+    def test_neutral_split(self):
+        result = make_result(
+            [interval(0, OccupantKind.COMMITTED, 0, 10, 10)])
+        breakdown = compute_breakdown(result, deadness([DynClass.NEUTRAL]))
+        denom = ENCODING_BITS * 4 * 100
+        assert breakdown.sdc_avf == pytest.approx(OPCODE_BITS * 10 / denom)
+        assert breakdown.false_due_components()["neutral"] == pytest.approx(
+            (ENCODING_BITS - OPCODE_BITS) * 10 / denom)
+
+    def test_dead_split_and_distance_weight(self):
+        result = make_result(
+            [interval(0, OccupantKind.COMMITTED, 0, 20, 20)])
+        breakdown = compute_breakdown(
+            result, deadness([DynClass.FDD_REG], {0: 100}))
+        denom = ENCODING_BITS * 4 * 100
+        assert breakdown.sdc_avf == pytest.approx(R1_BITS * 20 / denom)
+        assert breakdown.pet_covered_fraction(512) == 1.0
+        assert breakdown.pet_covered_fraction(64) == 0.0
+
+    def test_idle_fraction(self):
+        result = make_result(
+            [interval(0, OccupantKind.COMMITTED, 0, 10, 20)])
+        breakdown = compute_breakdown(result, deadness([DynClass.LIVE]))
+        assert breakdown.idle_fraction == pytest.approx(1 - 20 / 400)
+
+    def test_due_is_true_plus_false(self):
+        result = make_result([
+            interval(0, OccupantKind.COMMITTED, 0, 10, 10),
+            interval(1, OccupantKind.COMMITTED, 0, 10, 10),
+        ])
+        breakdown = compute_breakdown(
+            result, deadness([DynClass.LIVE, DynClass.PRED_FALSE]))
+        assert breakdown.due_avf == pytest.approx(
+            breakdown.true_due_avf + breakdown.false_due_avf)
+        assert breakdown.true_due_avf == breakdown.sdc_avf
+
+
+class TestPolicies:
+    def _squashed_result(self):
+        return make_result([
+            interval(0, OccupantKind.SQUASHED, 0, None, 30),
+            interval(0, OccupantKind.COMMITTED, 30, 40, 41),
+        ])
+
+    def test_conservative_charges_victims(self):
+        breakdown = compute_breakdown(
+            self._squashed_result(), deadness([DynClass.LIVE]),
+            AccountingPolicy.CONSERVATIVE)
+        denom = ENCODING_BITS * 4 * 100
+        assert breakdown.sdc_avf == pytest.approx(
+            ENCODING_BITS * (30 + 10) / denom)
+        assert breakdown.unread_bit_cycles == 0.0
+
+    def test_read_gated_ignores_victims(self):
+        breakdown = compute_breakdown(
+            self._squashed_result(), deadness([DynClass.LIVE]),
+            AccountingPolicy.READ_GATED)
+        denom = ENCODING_BITS * 4 * 100
+        assert breakdown.sdc_avf == pytest.approx(
+            ENCODING_BITS * 10 / denom)
+        assert breakdown.unread_fraction == pytest.approx(
+            ENCODING_BITS * 30 / denom)
+
+    def test_wrong_path_never_needs_deadness(self):
+        result = make_result(
+            [interval(None, OccupantKind.WRONG_PATH, 0, 5, 8)])
+        breakdown = compute_breakdown(result, None)
+        assert breakdown.sdc_avf == 0.0
+        assert "wrong_path" in breakdown.false_due_components()
+
+    def test_committed_requires_deadness(self):
+        result = make_result(
+            [interval(0, OccupantKind.COMMITTED, 0, 5, 8)])
+        with pytest.raises(ValueError):
+            compute_breakdown(result, None)
+
+
+class TestPetFraction:
+    def test_mixed_distances(self):
+        result = make_result([
+            interval(0, OccupantKind.COMMITTED, 0, 10, 10),
+            interval(1, OccupantKind.COMMITTED, 0, 30, 30),
+        ])
+        breakdown = compute_breakdown(
+            result,
+            deadness([DynClass.FDD_REG, DynClass.FDD_REG],
+                     {0: 100, 1: 10_000}))
+        # Residency weights 10 vs 30: only the first is PET-coverable.
+        assert breakdown.pet_covered_fraction(512) == pytest.approx(0.25)
+
+    def test_never_overwritten_uncovered(self):
+        result = make_result(
+            [interval(0, OccupantKind.COMMITTED, 0, 10, 10)])
+        breakdown = compute_breakdown(
+            result, deadness([DynClass.FDD_REG], {0: None}))
+        assert breakdown.pet_covered_fraction(1 << 20) == 0.0
+
+    def test_empty_is_zero(self):
+        result = make_result(
+            [interval(0, OccupantKind.COMMITTED, 0, 10, 10)])
+        breakdown = compute_breakdown(result, deadness([DynClass.LIVE]))
+        assert breakdown.pet_covered_fraction(512) == 0.0

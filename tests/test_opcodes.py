@@ -1,0 +1,81 @@
+"""Tests for the opcode taxonomy."""
+
+import pytest
+
+from repro.isa import opcodes
+from repro.isa.opcodes import InstrClass, Opcode
+
+
+class TestDecodeOpcode:
+    def test_architected_values_roundtrip(self):
+        for op in Opcode:
+            if op is Opcode.ILLEGAL:
+                continue
+            assert opcodes.decode_opcode(int(op)) is op
+
+    def test_unarchitected_values_are_illegal(self):
+        for value in (24, 63, 100, 126, 127):
+            assert opcodes.decode_opcode(value) is Opcode.ILLEGAL
+
+    def test_total_over_7_bit_space(self):
+        for value in range(128):
+            assert isinstance(opcodes.decode_opcode(value), Opcode)
+
+
+class TestClassification:
+    def test_every_opcode_has_a_class(self):
+        for op in Opcode:
+            assert isinstance(opcodes.instr_class(op), InstrClass)
+
+    def test_neutral_set(self):
+        assert opcodes.is_neutral(Opcode.NOP)
+        assert opcodes.is_neutral(Opcode.PREFETCH)
+        assert opcodes.is_neutral(Opcode.HINT)
+        assert not opcodes.is_neutral(Opcode.ADD)
+        assert not opcodes.is_neutral(Opcode.LD)
+
+    def test_gpr_writers(self):
+        assert opcodes.writes_gpr(Opcode.ADD)
+        assert opcodes.writes_gpr(Opcode.LD)
+        assert opcodes.writes_gpr(Opcode.MOVI)
+        assert not opcodes.writes_gpr(Opcode.ST)
+        assert not opcodes.writes_gpr(Opcode.BR)
+        assert not opcodes.writes_gpr(Opcode.NOP)
+        assert not opcodes.writes_gpr(Opcode.CMP_EQ)
+
+    def test_predicate_writers(self):
+        for op in (Opcode.CMP_EQ, Opcode.CMP_LT, Opcode.CMP_NE):
+            assert opcodes.writes_predicate(op)
+        assert not opcodes.writes_predicate(Opcode.ADD)
+
+    def test_store_reads_data_and_base(self):
+        assert opcodes.gpr_sources(Opcode.ST) == ("r1", "r2")
+
+    def test_load_reads_base_only(self):
+        assert opcodes.gpr_sources(Opcode.LD) == ("r2",)
+
+    def test_reg_reg_alu_reads_two(self):
+        assert opcodes.gpr_sources(Opcode.XOR) == ("r2", "r3")
+
+    def test_movi_reads_nothing(self):
+        assert opcodes.gpr_sources(Opcode.MOVI) == ()
+
+    def test_control_set(self):
+        for op in (Opcode.BR, Opcode.CALL, Opcode.RET, Opcode.HALT):
+            assert opcodes.is_control(op)
+        assert not opcodes.is_control(Opcode.ADD)
+
+    def test_wide_imm_opcodes(self):
+        assert Opcode.MOVI in opcodes.WIDE_IMM_OPCODES
+        assert Opcode.BR in opcodes.WIDE_IMM_OPCODES
+        assert Opcode.CALL in opcodes.WIDE_IMM_OPCODES
+        assert Opcode.ADDI not in opcodes.WIDE_IMM_OPCODES
+
+    def test_classes_partition(self):
+        # Every opcode lands in exactly one mutually understood class.
+        assert opcodes.instr_class(Opcode.MUL) is InstrClass.MUL
+        assert opcodes.instr_class(Opcode.LD) is InstrClass.LOAD
+        assert opcodes.instr_class(Opcode.ST) is InstrClass.STORE
+        assert opcodes.instr_class(Opcode.OUT) is InstrClass.OUTPUT
+        assert opcodes.instr_class(Opcode.NOP) is InstrClass.NEUTRAL
+        assert opcodes.instr_class(Opcode.ILLEGAL) is InstrClass.ILLEGAL

@@ -1,0 +1,29 @@
+"""Fault-outcome taxonomy tests."""
+
+from repro.due.outcomes import FaultOutcome
+
+
+class TestTaxonomy:
+    def test_benign_classes(self):
+        for outcome in (FaultOutcome.BENIGN_UNREAD,
+                        FaultOutcome.BENIGN_UNACE,
+                        FaultOutcome.CORRECTED):
+            assert outcome.is_benign
+            assert not outcome.is_error
+
+    def test_error_classes(self):
+        for outcome in (FaultOutcome.SDC, FaultOutcome.FALSE_DUE,
+                        FaultOutcome.TRUE_DUE, FaultOutcome.TRAP,
+                        FaultOutcome.HANG):
+            assert outcome.is_error
+            assert not outcome.is_benign
+
+    def test_partition(self):
+        for outcome in FaultOutcome:
+            assert outcome.is_error != outcome.is_benign
+
+    def test_values_stable(self):
+        # Serialized campaign results depend on these strings.
+        assert FaultOutcome.SDC.value == "sdc"
+        assert FaultOutcome.FALSE_DUE.value == "false_due"
+        assert FaultOutcome.BENIGN_UNREAD.value == "benign_unread"

@@ -1,0 +1,171 @@
+"""PET-buffer mechanism and coverage tests."""
+
+import pytest
+
+from repro.analysis.deadcode import DynClass, analyze_deadness
+from repro.due.pet import PetBuffer, pet_coverage_by_size
+from repro.isa.opcodes import Opcode
+from tests.helpers import I, run
+
+
+def feed(buffer, result, pi_seq):
+    """Retire a whole trace, flagging one instruction's π bit."""
+    decisions = []
+    for op in result.trace:
+        decision = buffer.retire(op, pi_set=(op.seq == pi_seq))
+        if decision is not None:
+            decisions.append(decision)
+    decisions.extend(buffer.drain())
+    return decisions
+
+
+class TestMechanism:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PetBuffer(entries=0)
+
+    def test_clear_pi_never_decides(self):
+        buffer = PetBuffer(entries=2)
+        result = run([I(Opcode.NOP)] * 8)
+        assert feed(buffer, result, pi_seq=-1) == []
+
+    def test_fdd_suppressed(self):
+        result = run([
+            I(Opcode.MOVI, r1=1, imm=5),  # pi here: FDD
+            I(Opcode.MOVI, r1=1, imm=6),
+            I(Opcode.OUT, r2=1),
+        ])
+        decisions = feed(PetBuffer(entries=2), result, pi_seq=0)
+        assert len(decisions) == 1
+        assert not decisions[0].signal
+        assert "FDD" in decisions[0].reason
+
+    def test_read_forces_signal(self):
+        result = run([
+            I(Opcode.MOVI, r1=1, imm=5),  # pi here: read by OUT
+            I(Opcode.OUT, r2=1),
+            I(Opcode.MOVI, r1=1, imm=6),
+        ])
+        decisions = feed(PetBuffer(entries=2), result, pi_seq=0)
+        assert decisions[0].signal
+        assert "read" in decisions[0].reason
+
+    def test_overwrite_outside_buffer_signals(self):
+        # Overwrite exists but falls outside a 1-entry buffer window.
+        result = run([
+            I(Opcode.MOVI, r1=1, imm=5),  # pi
+            I(Opcode.NOP),
+            I(Opcode.NOP),
+            I(Opcode.MOVI, r1=1, imm=6),
+            I(Opcode.OUT, r2=1),
+        ])
+        decisions = feed(PetBuffer(entries=1), result, pi_seq=0)
+        assert decisions[0].signal
+
+    def test_large_buffer_catches_distant_overwrite(self):
+        result = run([
+            I(Opcode.MOVI, r1=1, imm=5),  # pi
+            *[I(Opcode.NOP)] * 20,
+            I(Opcode.MOVI, r1=1, imm=6),
+            I(Opcode.OUT, r2=1),
+        ])
+        decisions = feed(PetBuffer(entries=64), result, pi_seq=0)
+        assert not decisions[0].signal
+
+    def test_predicate_resource(self):
+        result = run([
+            I(Opcode.CMP_EQ, r1=5, r2=0, r3=0),  # pi: p5, never read
+            I(Opcode.CMP_NE, r1=5, r2=0, r3=0),  # overwrites p5
+        ])
+        decisions = feed(PetBuffer(entries=4), result, pi_seq=0)
+        assert not decisions[0].signal
+
+    def test_predicate_read_signals(self):
+        result = run([
+            I(Opcode.CMP_EQ, r1=5, r2=0, r3=0),  # pi: p5
+            I(Opcode.MOVI, qp=5, r1=1, imm=3),  # reads p5
+            I(Opcode.CMP_NE, r1=5, r2=0, r3=0),
+        ])
+        decisions = feed(PetBuffer(entries=4), result, pi_seq=0)
+        assert decisions[0].signal
+
+    def test_store_untracked_by_default(self):
+        result = run([
+            I(Opcode.MOVI, r1=1, imm=0x40),
+            I(Opcode.ST, r1=1, r2=1, imm=0),  # pi on a store
+            I(Opcode.ST, r1=0, r2=1, imm=0),  # overwrites
+        ])
+        decisions = feed(PetBuffer(entries=4), result, pi_seq=1)
+        assert decisions[0].signal
+        assert "no trackable result" in decisions[0].reason
+
+    def test_store_tracked_with_memory_extension(self):
+        result = run([
+            I(Opcode.MOVI, r1=1, imm=0x40),
+            I(Opcode.ST, r1=1, r2=1, imm=0),  # pi on a store
+            I(Opcode.ST, r1=0, r2=1, imm=0),  # overwrites same word
+        ])
+        buffer = PetBuffer(entries=4, track_memory=True)
+        decisions = feed(buffer, result, pi_seq=1)
+        assert not decisions[0].signal
+
+    def test_no_overwrite_in_buffer_signals(self):
+        result = run([
+            I(Opcode.MOVI, r1=1, imm=5),  # pi, never overwritten
+            I(Opcode.NOP),
+        ])
+        decisions = feed(PetBuffer(entries=8), result, pi_seq=0)
+        assert decisions[0].signal
+
+    def test_eviction_happens_at_capacity(self):
+        buffer = PetBuffer(entries=3)
+        result = run([I(Opcode.NOP)] * 10)
+        for op in result.trace[:3]:
+            assert buffer.retire(op, pi_set=False) is None
+        assert len(buffer) == 3
+        buffer.retire(result.trace[3], pi_set=False)
+        assert len(buffer) == 3
+
+
+class TestCoverageCurves:
+    def test_monotone_in_size(self, small_deadness):
+        coverage = pet_coverage_by_size(small_deadness,
+                                        sizes=(16, 64, 256, 1024, 4096))
+        values = [coverage[s] for s in (16, 64, 256, 1024, 4096)]
+        assert values == sorted(values)
+
+    def test_bounds(self, small_deadness):
+        coverage = pet_coverage_by_size(small_deadness, sizes=(1, 1 << 20))
+        assert 0.0 <= coverage[1] <= coverage[1 << 20] <= 1.0
+
+    def test_denominator_classes_nest(self, small_deadness):
+        sizes = (512,)
+        all_fdd = (DynClass.FDD_REG, DynClass.FDD_REG_RETURN,
+                   DynClass.FDD_MEM)
+        narrow = pet_coverage_by_size(
+            small_deadness, sizes, classes=(DynClass.FDD_REG,),
+            denominator_classes=all_fdd)[512]
+        wide = pet_coverage_by_size(
+            small_deadness, sizes, classes=all_fdd,
+            denominator_classes=all_fdd)[512]
+        assert narrow <= wide
+
+    def test_bad_size_rejected(self, small_deadness):
+        with pytest.raises(ValueError):
+            pet_coverage_by_size(small_deadness, sizes=(0,))
+
+    def test_consistency_with_mechanism(self):
+        """The analytic coverage rule must agree with the FIFO mechanism:
+        an FDD instruction is suppressed iff its overwrite distance fits."""
+        result = run([
+            I(Opcode.MOVI, r1=1, imm=5),
+            *[I(Opcode.NOP)] * 10,
+            I(Opcode.MOVI, r1=1, imm=6),
+            I(Opcode.OUT, r2=1),
+        ])
+        deadness = analyze_deadness(result)
+        distance = deadness.overwrite_distance[0]
+        ok = feed(PetBuffer(entries=distance), result, pi_seq=0)
+        too_small = feed(PetBuffer(entries=distance - 1), result, pi_seq=0)
+        assert not ok[0].signal
+        assert too_small[0].signal

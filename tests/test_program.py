@@ -1,0 +1,96 @@
+"""Tests for Program and FunctionInfo."""
+
+import pytest
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import FunctionInfo, Program
+
+
+def make_program():
+    code = [
+        Instruction(Opcode.MOVI, r1=1, imm=5),
+        Instruction(Opcode.BR, imm=2),
+        Instruction(Opcode.NOP),
+        Instruction(Opcode.HALT),
+        Instruction(Opcode.ADD, r1=2, r2=1, r3=1),
+        Instruction(Opcode.RET),
+    ]
+    functions = [FunctionInfo("main", 0, 4), FunctionInfo("leaf", 4, 6)]
+    return Program(code, functions, entry=0, name="p")
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Program([], [], entry=0)
+
+    def test_entry_out_of_range(self):
+        with pytest.raises(ValueError):
+            Program([Instruction(Opcode.HALT)], [], entry=5)
+
+    def test_function_past_end_rejected(self):
+        with pytest.raises(ValueError):
+            Program([Instruction(Opcode.HALT)],
+                    [FunctionInfo("f", 0, 9)])
+
+    def test_bad_function_range(self):
+        with pytest.raises(ValueError):
+            FunctionInfo("f", 3, 3)
+
+
+class TestFetch:
+    def test_in_range(self):
+        program = make_program()
+        assert program.fetch(0).opcode is Opcode.MOVI
+
+    def test_out_of_range_is_nop(self):
+        program = make_program()
+        assert program.fetch(100).opcode is Opcode.NOP
+        assert program.fetch(-1).opcode is Opcode.NOP
+
+    def test_len(self):
+        assert len(make_program()) == 6
+
+
+class TestFunctions:
+    def test_function_at(self):
+        program = make_program()
+        assert program.function_at(0).name == "main"
+        assert program.function_at(5).name == "leaf"
+
+    def test_function_at_gap(self):
+        program = Program([Instruction(Opcode.HALT)], [])
+        assert program.function_at(0) is None
+
+    def test_contains(self):
+        info = FunctionInfo("f", 2, 5)
+        assert info.contains(2) and info.contains(4)
+        assert not info.contains(5)
+
+
+class TestBranchTarget:
+    def test_relative_target(self):
+        program = make_program()
+        assert program.branch_target(1) == 3
+
+    def test_non_branch_rejected(self):
+        with pytest.raises(ValueError):
+            make_program().branch_target(0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            make_program().branch_target(99)
+
+
+class TestDisassemble:
+    def test_labels_and_pcs(self):
+        text = make_program().disassemble()
+        assert "main:" in text
+        assert "leaf:" in text
+        assert "halt" in text
+
+    def test_range_clamped(self):
+        text = make_program().disassemble(4, 100)
+        assert "movi" not in text
+        assert "ret" in text

@@ -1,0 +1,77 @@
+"""Cross-cutting property-based tests over randomly generated workloads."""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.deadcode import DEAD_CLASSES, DynClass, analyze_deadness
+from repro.arch.executor import FunctionalSimulator
+from repro.avf.occupancy import compute_breakdown
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.core import PipelineSimulator
+from repro.workloads.codegen import synthesize
+from repro.workloads.profile import BenchmarkProfile
+
+
+@st.composite
+def profiles(draw):
+    return BenchmarkProfile(
+        name="hypo",
+        suite=draw(st.sampled_from(["int", "fp"])),
+        body_items=draw(st.integers(40, 120)),
+        w_noop=draw(st.floats(0.0, 60.0)),
+        w_branch_rand=draw(st.floats(0.0, 4.0)),
+        w_cold_load=draw(st.floats(0.0, 2.0)),
+        w_call=draw(st.floats(0.0, 3.0)),
+        w_dead_single=draw(st.floats(0.0, 6.0)),
+        w_dead_store=draw(st.floats(0.0, 6.0)),
+        pred_block_len=draw(st.integers(1, 5)),
+        miss_burst=draw(st.integers(1, 4)),
+        fetch_bubble_prob=draw(st.floats(0.0, 0.5)),
+        seed_salt=draw(st.integers(0, 1000)),
+    )
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(profiles(), st.integers(0, 10_000))
+def test_any_profile_synthesizes_and_halts(profile, seed):
+    """Every profile in the knob space produces a clean-running program
+    whose analysis results satisfy the global invariants."""
+    program = synthesize(profile, target_instructions=3000, seed=seed)
+    result = FunctionalSimulator(program).run()
+    assert result.clean
+    assert result.outputs
+
+    analysis = analyze_deadness(result)
+    assert len(analysis.classes) == len(result.trace)
+    # Every dead instruction with an overwrite has a positive distance.
+    for seq, distance in analysis.overwrite_distance.items():
+        assert analysis.class_of(seq) in DEAD_CLASSES
+        if distance is not None:
+            assert distance > 0
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(profiles(), st.integers(0, 10_000))
+def test_timing_and_avf_invariants(profile, seed):
+    program = synthesize(profile, target_instructions=3000, seed=seed)
+    execution = FunctionalSimulator(program).run()
+    machine = MachineConfig(fetch_bubble_prob=profile.fetch_bubble_prob)
+    pipeline = PipelineSimulator(program, execution.trace, machine,
+                                 seed=seed).run()
+    deadness = analyze_deadness(execution)
+    breakdown = compute_breakdown(pipeline, deadness)
+
+    assert pipeline.committed == len(execution.trace)
+    assert 0.0 <= breakdown.sdc_avf <= 1.0
+    assert 0.0 <= breakdown.due_avf <= 1.0
+    assert breakdown.due_avf >= breakdown.sdc_avf
+    assert 0.0 <= breakdown.idle_fraction <= 1.0
+    total_state = (breakdown.sdc_avf + breakdown.false_due_avf
+                   + breakdown.ex_ace_fraction + breakdown.idle_fraction
+                   + breakdown.unread_fraction)
+    assert total_state == pytest.approx(1.0, abs=0.02)

@@ -1,0 +1,43 @@
+"""Public API surface tests."""
+
+import repro
+
+
+class TestApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_key_entry_points(self):
+        assert callable(repro.run_benchmark)
+        assert callable(repro.synthesize)
+        assert callable(repro.analyze_deadness)
+        assert callable(repro.run_campaign)
+
+    def test_tracking_ladder_exported(self):
+        assert repro.TrackingLevel.MEM_PI > repro.TrackingLevel.PARITY_ONLY
+
+    def test_trigger_enum(self):
+        assert {t.value for t in repro.Trigger} == \
+            {"none", "l1_miss", "l0_miss"}
+
+
+class TestResultSignatures:
+    def test_output_signature_distinguishes_status(self, small_execution):
+        from repro.arch.result import ExecutionResult, ExecutionStatus
+
+        other = ExecutionResult(status=ExecutionStatus.LIMIT,
+                                trace=[], outputs=small_execution.outputs)
+        assert other.output_signature() != \
+            small_execution.output_signature()
+
+    def test_output_signature_distinguishes_outputs(self, small_execution):
+        from repro.arch.result import ExecutionResult
+
+        other = ExecutionResult(status=small_execution.status,
+                                trace=[], outputs=(1, 2, 3))
+        assert other.output_signature() != \
+            small_execution.output_signature()

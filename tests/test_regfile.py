@@ -1,0 +1,85 @@
+"""Register-file AVF analysis tests."""
+
+import pytest
+
+from repro.analysis.deadcode import analyze_deadness
+from repro.analysis.regfile import RegisterFileAvf, compute_regfile_avf
+from repro.arch.executor import FunctionalSimulator
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.core import PipelineSimulator
+from repro.isa.opcodes import Opcode
+from tests.helpers import I, program
+
+
+def analyse(instructions):
+    prog = program(instructions)
+    execution = FunctionalSimulator(prog).run()
+    deadness = analyze_deadness(execution)
+    pipeline = PipelineSimulator(
+        prog, execution.trace,
+        MachineConfig(fetch_bubble_prob=0.0)).run()
+    return compute_regfile_avf(pipeline, execution.trace, deadness), pipeline
+
+
+class TestLifetimes:
+    def test_live_value_counts_to_last_read(self):
+        avf, pipeline = analyse([
+            I(Opcode.MOVI, r1=1, imm=5),
+            I(Opcode.NOP),
+            I(Opcode.OUT, r2=1),
+        ])
+        assert avf.ace_reg_cycles > 0
+        assert avf.dead_reg_cycles == 0
+
+    def test_dead_value_counts_as_dead(self):
+        avf, _ = analyse([
+            I(Opcode.MOVI, r1=9, imm=5),  # never read
+            I(Opcode.NOP),
+            I(Opcode.NOP),
+        ])
+        assert avf.dead_reg_cycles > 0
+        assert avf.ace_reg_cycles == 0
+
+    def test_stale_tail_tracked(self):
+        avf, _ = analyse([
+            I(Opcode.MOVI, r1=1, imm=5),
+            I(Opcode.OUT, r2=1),
+            *[I(Opcode.NOP)] * 20,  # r1 sits stale afterwards
+        ])
+        assert avf.stale_reg_cycles > 0
+
+    def test_fractions_bounded(self, small_pipeline, small_execution,
+                               small_deadness):
+        avf = compute_regfile_avf(small_pipeline, small_execution.trace,
+                                  small_deadness)
+        assert 0.0 < avf.sdc_avf < 1.0
+        assert 0.0 <= avf.dead_fraction < 1.0
+        assert avf.due_avf_with_parity == pytest.approx(
+            avf.sdc_avf + avf.dead_fraction)
+        assert avf.due_avf_with_register_pi == avf.sdc_avf
+
+    def test_register_pi_strictly_helps(self, small_pipeline,
+                                        small_execution, small_deadness):
+        avf = compute_regfile_avf(small_pipeline, small_execution.trace,
+                                  small_deadness)
+        assert avf.due_avf_with_register_pi < avf.due_avf_with_parity
+
+    def test_empty_result(self):
+        avf = RegisterFileAvf(cycles=0)
+        assert avf.sdc_avf == 0.0
+        assert avf.due_avf_with_parity == 0.0
+
+
+class TestExperiment:
+    def test_run_and_format(self):
+        from repro.experiments import regfile
+        from repro.experiments.common import ExperimentSettings
+        from repro.workloads.spec2000 import get_profile
+
+        settings = ExperimentSettings(target_instructions=6000)
+        result = regfile.run(settings, [get_profile("crafty"),
+                                        get_profile("swim")])
+        assert result.average("sdc_avf") > 0
+        text = regfile.format_result(result)
+        assert "Register-file AVF" in text
+        assert "crafty" in text

@@ -1,0 +1,43 @@
+"""Per-benchmark report dossier tests."""
+
+import pytest
+
+from repro.analysis.report import benchmark_report
+from repro.experiments.common import ExperimentSettings, run_benchmark
+from repro.pipeline.config import Trigger
+from repro.workloads.spec2000 import get_profile
+
+
+@pytest.fixture(scope="module")
+def bench():
+    settings = ExperimentSettings(target_instructions=8000)
+    return run_benchmark(get_profile("gzip-graphic"), settings,
+                         Trigger.NONE)
+
+
+class TestBenchmarkReport:
+    def test_contains_all_sections(self, bench):
+        text = benchmark_report(bench)
+        for needle in ("dynamic instruction mix", "dead-code analysis",
+                       "timing", "instruction-queue AVF",
+                       "register-file AVF", "gzip-graphic"):
+            assert needle in text
+
+    def test_tracking_ladder_listed(self, bench):
+        text = benchmark_report(bench)
+        for level in ("PARITY_ONLY", "ANTI_PI", "MEM_PI"):
+            assert level in text
+
+    def test_injection_section_optional(self, bench):
+        without = benchmark_report(bench)
+        assert "fault-injection" not in without
+        with_injection = benchmark_report(bench, injection_trials=30)
+        assert "fault-injection cross-check" in with_injection
+
+    def test_cli_report(self, capsys):
+        from repro.cli import main
+
+        assert main(["report", "--benchmark", "mcf",
+                     "--instructions", "6000", "--trials", "0"]) == 0
+        output = capsys.readouterr().out
+        assert "=== mcf" in output

@@ -1,0 +1,93 @@
+"""Tests for the deterministic RNG layer."""
+
+import pytest
+
+from repro.util.rng import DeterministicRng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_labels_matter(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_root_matters(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_label_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_no_concatenation_collision(self):
+        # ("ab",) and ("a", "b") must hash differently.
+        assert derive_seed(1, "ab") != derive_seed(1, "a", "b")
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(7)
+        assert [a.randint(0, 100) for _ in range(20)] == \
+            [b.randint(0, 100) for _ in range(20)]
+
+    def test_different_seed_diverges(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(8)
+        assert [a.randint(0, 10 ** 9) for _ in range(5)] != \
+            [b.randint(0, 10 ** 9) for _ in range(5)]
+
+    def test_child_streams_independent_of_sibling_draws(self):
+        parent = DeterministicRng(7)
+        child_a = parent.child("a")
+        expected = [child_a.randint(0, 1000) for _ in range(5)]
+        # Re-derive after consuming draws elsewhere: stream unchanged.
+        parent2 = DeterministicRng(7)
+        parent2.child("b").randint(0, 1000)
+        child_a2 = parent2.child("a")
+        assert [child_a2.randint(0, 1000) for _ in range(5)] == expected
+
+    def test_choice_and_shuffle_deterministic(self):
+        a = DeterministicRng(3)
+        b = DeterministicRng(3)
+        items_a = list(range(10))
+        items_b = list(range(10))
+        a.shuffle(items_a)
+        b.shuffle(items_b)
+        assert items_a == items_b
+
+    def test_bernoulli_bounds(self):
+        rng = DeterministicRng(1)
+        assert all(not rng.bernoulli(0.0) for _ in range(50))
+        assert all(rng.bernoulli(1.0) for _ in range(50))
+
+    def test_bernoulli_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).bernoulli(1.5)
+
+    def test_bernoulli_rate(self):
+        rng = DeterministicRng(11)
+        hits = sum(rng.bernoulli(0.3) for _ in range(5000))
+        assert 0.25 < hits / 5000 < 0.35
+
+    def test_geometric_mean(self):
+        rng = DeterministicRng(5)
+        draws = [rng.geometric(0.5) for _ in range(4000)]
+        mean = sum(draws) / len(draws)
+        assert 0.8 < mean < 1.2  # E = (1-p)/p = 1
+
+    def test_geometric_maximum(self):
+        rng = DeterministicRng(5)
+        assert all(rng.geometric(0.01, maximum=3) <= 3 for _ in range(200))
+
+    def test_geometric_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).geometric(0.0)
+
+    def test_randrange_bounds(self):
+        rng = DeterministicRng(9)
+        assert all(0 <= rng.randrange(7) < 7 for _ in range(200))
+
+    def test_sample_unique(self):
+        rng = DeterministicRng(9)
+        picked = rng.sample(range(20), 5)
+        assert len(set(picked)) == 5

@@ -1,0 +1,92 @@
+"""Tests for repro.util.stats."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    OnlineStats,
+    geometric_mean,
+    harmonic_mean,
+    ratio_change,
+    weighted_mean,
+)
+
+floats = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+
+
+class TestOnlineStats:
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError):
+            OnlineStats().mean
+
+    def test_single_value(self):
+        acc = OnlineStats()
+        acc.add(4.0)
+        assert acc.mean == 4.0
+        assert acc.variance == 0.0
+
+    @given(st.lists(floats, min_size=2, max_size=50))
+    def test_matches_statistics_module(self, values):
+        acc = OnlineStats()
+        for v in values:
+            acc.add(v)
+        assert math.isclose(acc.mean, statistics.fmean(values),
+                            rel_tol=1e-9, abs_tol=1e-6)
+        assert math.isclose(acc.variance, statistics.variance(values),
+                            rel_tol=1e-6, abs_tol=1e-6)
+
+    def test_confidence_shrinks_with_n(self):
+        acc = OnlineStats()
+        widths = []
+        for i in range(1, 401):
+            acc.add(float(i % 7))
+            if i in (100, 400):
+                widths.append(acc.confidence_halfwidth())
+        assert widths[1] < widths[0]
+
+    def test_confidence_empty_is_infinite(self):
+        assert OnlineStats().confidence_halfwidth() == float("inf")
+
+
+class TestMeans:
+    def test_weighted_mean(self):
+        assert weighted_mean([1.0, 3.0], [1.0, 1.0]) == 2.0
+        assert weighted_mean([1.0, 3.0], [3.0, 1.0]) == 1.5
+
+    def test_weighted_mean_mismatched(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [1.0, 2.0])
+
+    def test_weighted_mean_zero_weight(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [0.0])
+
+    def test_geometric_mean(self):
+        assert math.isclose(geometric_mean([2.0, 8.0]), 4.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_geometric_mean_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_harmonic_mean(self):
+        assert math.isclose(harmonic_mean([1.0, 3.0]), 1.5)
+
+    def test_harmonic_le_geometric(self):
+        values = [1.2, 2.5, 0.9, 4.0]
+        assert harmonic_mean(values) <= geometric_mean(values) + 1e-12
+
+    def test_ratio_change(self):
+        assert math.isclose(ratio_change(0.74, 1.0), -0.26)
+
+    def test_ratio_change_zero_base(self):
+        with pytest.raises(ValueError):
+            ratio_change(1.0, 0.0)

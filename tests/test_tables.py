@@ -1,0 +1,42 @@
+"""Tests for the table formatter."""
+
+import pytest
+
+from repro.util.tables import format_percent, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [["xxx", "y"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a  ")
+        assert "---" in lines[1]
+        assert lines[2].startswith("xxx")
+
+    def test_title(self):
+        text = format_table(["h"], [["v"]], title="T1")
+        assert text.splitlines()[0] == "T1"
+
+    def test_floats_formatted(self):
+        text = format_table(["x"], [[1.23456]])
+        assert "1.235" in text
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+    def test_column_count(self):
+        text = format_table(["a", "b", "c"], [[1, 2, 3], [4, 5, 6]])
+        assert len(text.splitlines()) == 4
+
+
+class TestFormatPercent:
+    def test_basic(self):
+        assert format_percent(0.29) == "29.0%"
+
+    def test_digits(self):
+        assert format_percent(0.12345, digits=2) == "12.35%"

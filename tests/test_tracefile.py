@@ -1,0 +1,65 @@
+"""Trace serialisation round-trip tests."""
+
+import pytest
+
+from repro.analysis.deadcode import analyze_deadness
+from repro.workloads.tracefile import dump_execution, load_execution
+
+
+class TestRoundTrip:
+    def test_outputs_and_status_preserved(self, small_execution, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        dump_execution(small_execution, path)
+        loaded = load_execution(path)
+        assert loaded.status is small_execution.status
+        assert loaded.outputs == small_execution.outputs
+
+    def test_trace_fields_preserved(self, small_execution, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        dump_execution(small_execution, path)
+        loaded = load_execution(path)
+        assert len(loaded.trace) == len(small_execution.trace)
+        for original, restored in zip(small_execution.trace[:500],
+                                      loaded.trace[:500]):
+            assert restored.seq == original.seq
+            assert restored.pc == original.pc
+            assert restored.instruction == original.instruction
+            assert restored.executed == original.executed
+            assert restored.dest_gpr == original.dest_gpr
+            assert restored.dest_pred == original.dest_pred
+            assert restored.src_gprs == original.src_gprs
+            assert restored.mem_addr == original.mem_addr
+            assert restored.is_store == original.is_store
+            assert restored.is_load == original.is_load
+            assert restored.branch_taken == original.branch_taken
+            assert restored.invocation == original.invocation
+            assert restored.is_output == original.is_output
+
+    def test_invocations_preserved(self, small_execution, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        dump_execution(small_execution, path)
+        loaded = load_execution(path)
+        assert set(loaded.invocations) == set(small_execution.invocations)
+        for key, original in small_execution.invocations.items():
+            restored = loaded.invocations[key]
+            assert restored.entry_pc == original.entry_pc
+            assert restored.return_seq == original.return_seq
+
+    def test_analysis_identical_on_loaded_trace(self, small_execution,
+                                                small_deadness, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        dump_execution(small_execution, path)
+        loaded = load_execution(path)
+        reanalysed = analyze_deadness(loaded)
+        assert reanalysed.classes == small_deadness.classes
+        assert reanalysed.overwrite_distance == \
+            small_deadness.overwrite_distance
+
+    def test_version_checked(self, small_execution, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        dump_execution(small_execution, path)
+        content = path.read_text().splitlines()
+        content[0] = content[0].replace('"version": 1', '"version": 99')
+        path.write_text("\n".join(content))
+        with pytest.raises(ValueError):
+            load_execution(path)

@@ -1,0 +1,113 @@
+"""Tracking-ladder tests (repro.due.tracking)."""
+
+import pytest
+
+from repro.analysis.deadcode import DeadnessAnalysis, DynClass
+from repro.avf.occupancy import compute_breakdown
+from repro.due.tracking import (
+    TRACKING_LADDER,
+    TrackingLevel,
+    covered_categories,
+    due_avf_with_tracking,
+    false_due_coverage,
+    residual_false_due,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.pipeline.iq import OccupancyInterval, OccupantKind
+from repro.pipeline.result import PipelineResult
+
+
+def breakdown_with_all_categories():
+    classes = [DynClass.LIVE, DynClass.PRED_FALSE, DynClass.NEUTRAL,
+               DynClass.FDD_REG, DynClass.FDD_REG_RETURN, DynClass.TDD_REG,
+               DynClass.FDD_MEM, DynClass.TDD_MEM]
+    intervals = [
+        OccupancyInterval(seq, Instruction(Opcode.ADD, r1=1),
+                          OccupantKind.COMMITTED, 0, 10, 10)
+        for seq in range(len(classes))
+    ]
+    intervals.append(OccupancyInterval(
+        None, Instruction(Opcode.ADD, r1=1), OccupantKind.WRONG_PATH,
+        0, 10, 10))
+    result = PipelineResult(cycles=100, committed=8, intervals=intervals,
+                            iq_entries=16)
+    deadness = DeadnessAnalysis(
+        classes=classes,
+        overwrite_distance={3: 100, 4: 5000, 6: 100})
+    return compute_breakdown(result, deadness)
+
+
+class TestCoveredCategories:
+    def test_parity_only_covers_nothing(self):
+        assert covered_categories(TrackingLevel.PARITY_ONLY) == frozenset()
+
+    def test_cumulative(self):
+        previous = frozenset()
+        for level in TRACKING_LADDER:
+            current = covered_categories(level)
+            assert previous <= current
+            previous = current
+
+    def test_mem_pi_covers_everything_named(self):
+        covered = covered_categories(TrackingLevel.MEM_PI)
+        assert "wrong_path" in covered
+        assert DynClass.TDD_MEM.value in covered
+        assert DynClass.NEUTRAL.value in covered
+
+
+class TestResidual:
+    def test_monotone_in_level(self):
+        breakdown = breakdown_with_all_categories()
+        residuals = [residual_false_due(breakdown, level)
+                     for level in TRACKING_LADDER]
+        assert residuals == sorted(residuals, reverse=True)
+
+    def test_parity_only_residual_is_everything(self):
+        breakdown = breakdown_with_all_categories()
+        assert residual_false_due(breakdown, TrackingLevel.PARITY_ONLY) == \
+            pytest.approx(breakdown.false_due_avf)
+
+    def test_mem_pi_residual_zero(self):
+        breakdown = breakdown_with_all_categories()
+        assert residual_false_due(breakdown, TrackingLevel.MEM_PI) == \
+            pytest.approx(0.0)
+
+    def test_pet_is_partial(self):
+        breakdown = breakdown_with_all_categories()
+        anti = residual_false_due(breakdown, TrackingLevel.ANTI_PI)
+        pet = residual_false_due(breakdown, TrackingLevel.PET,
+                                 pet_entries=512)
+        reg = residual_false_due(breakdown, TrackingLevel.REG_PI)
+        assert reg < pet < anti  # PET removes some but not all FDD_REG
+
+    def test_pet_size_matters(self):
+        breakdown = breakdown_with_all_categories()
+        small = residual_false_due(breakdown, TrackingLevel.PET,
+                                   pet_entries=16)
+        large = residual_false_due(breakdown, TrackingLevel.PET,
+                                   pet_entries=512)
+        assert large <= small
+
+
+class TestDerived:
+    def test_due_avf_is_true_plus_residual(self):
+        breakdown = breakdown_with_all_categories()
+        for level in TRACKING_LADDER:
+            assert due_avf_with_tracking(breakdown, level) == pytest.approx(
+                breakdown.true_due_avf
+                + residual_false_due(breakdown, level))
+
+    def test_coverage_bounds(self):
+        breakdown = breakdown_with_all_categories()
+        assert false_due_coverage(
+            breakdown, TrackingLevel.PARITY_ONLY) == pytest.approx(0.0)
+        assert false_due_coverage(
+            breakdown, TrackingLevel.MEM_PI) == pytest.approx(1.0)
+
+    def test_coverage_on_real_run(self, small_pipeline, small_deadness):
+        breakdown = compute_breakdown(small_pipeline, small_deadness)
+        coverages = [false_due_coverage(breakdown, level)
+                     for level in TRACKING_LADDER]
+        assert coverages == sorted(coverages)
+        assert coverages[-1] == pytest.approx(1.0)

@@ -1,0 +1,141 @@
+"""Workload generator and profile-catalogue tests."""
+
+import pytest
+
+from repro.analysis.deadcode import analyze_deadness
+from repro.arch.executor import FunctionalSimulator
+from repro.isa.opcodes import Opcode
+from repro.workloads.codegen import ProgramSynthesizer, synthesize
+from repro.workloads.profile import BenchmarkProfile
+from repro.workloads.spec2000 import (
+    ALL_PROFILES,
+    FP_PROFILES,
+    INT_PROFILES,
+    get_profile,
+    profile_names,
+)
+
+
+class TestProfileValidation:
+    def test_suite_checked(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile(name="x", suite="vector")
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile(name="x", suite="int", w_noop=-1.0)
+
+    def test_bubble_prob_range(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile(name="x", suite="int", fetch_bubble_prob=1.0)
+
+    def test_item_weights_keys(self):
+        profile = BenchmarkProfile(name="x", suite="int")
+        weights = profile.item_weights()
+        assert "noop" in weights and "cold_load" in weights
+        assert all(not k.startswith("w_") for k in weights)
+
+
+class TestCatalogue:
+    def test_counts(self):
+        assert len(INT_PROFILES) == 12
+        assert len(FP_PROFILES) == 14
+        assert len(ALL_PROFILES) == 26
+
+    def test_names_unique(self):
+        names = profile_names()
+        assert len(names) == len(set(names))
+
+    def test_get_profile(self):
+        assert get_profile("crafty").suite == "int"
+        assert get_profile("swim").suite == "fp"
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            get_profile("doom3")
+
+    def test_paper_skip_intervals(self):
+        assert get_profile("crafty").skip_millions == 120_600
+        assert get_profile("perlbmk-makerand").skip_millions == 0
+        assert get_profile("lucas").skip_millions == 123_500
+
+    def test_fp_has_more_noops(self):
+        int_noop = sum(p.w_noop for p in INT_PROFILES) / len(INT_PROFILES)
+        fp_noop = sum(p.w_noop for p in FP_PROFILES) / len(FP_PROFILES)
+        assert fp_noop > int_noop
+
+    def test_int_has_more_random_branches(self):
+        int_br = sum(p.w_branch_rand for p in INT_PROFILES) / 12
+        fp_br = sum(p.w_branch_rand for p in FP_PROFILES) / 14
+        assert int_br > fp_br
+
+
+class TestSynthesis:
+    def test_deterministic(self, small_profile):
+        a = synthesize(small_profile, 5000, seed=1)
+        b = synthesize(small_profile, 5000, seed=1)
+        assert list(a.instructions) == list(b.instructions)
+
+    def test_seed_changes_program(self, small_profile):
+        a = synthesize(small_profile, 5000, seed=1)
+        b = synthesize(small_profile, 5000, seed=2)
+        assert list(a.instructions) != list(b.instructions)
+
+    def test_target_size_honoured(self, small_profile):
+        program = synthesize(small_profile, 20_000, seed=3)
+        result = FunctionalSimulator(program).run()
+        assert result.clean
+        assert 10_000 < result.instruction_count < 40_000
+
+    def test_too_small_target_rejected(self, small_profile):
+        with pytest.raises(ValueError):
+            synthesize(small_profile, 100)
+
+    def test_program_has_functions(self, small_program):
+        names = [f.name for f in small_program.functions]
+        assert "main" in names
+        assert any(n.startswith("leaf") for n in names)
+
+    def test_trips_metadata(self, small_program):
+        assert small_program.metadata["trips"] >= 1
+
+    def test_emits_output(self, small_execution):
+        assert len(small_execution.outputs) > 2
+
+    def test_noop_weight_controls_mix(self, small_profile):
+        from dataclasses import replace
+
+        heavy = replace(small_profile, w_noop=120.0, seed_salt=7)
+        light = replace(small_profile, w_noop=5.0, seed_salt=7)
+
+        def noop_frac(profile):
+            result = FunctionalSimulator(
+                synthesize(profile, 6000, seed=5)).run()
+            noops = sum(1 for op in result.trace
+                        if op.instruction.opcode is Opcode.NOP)
+            return noops / len(result.trace)
+
+        assert noop_frac(heavy) > 2 * noop_frac(light)
+
+    def test_every_positive_kind_appears(self, small_profile,
+                                         small_program):
+        opcodes = {i.opcode for i in small_program.instructions}
+        assert Opcode.LD in opcodes
+        assert Opcode.ST in opcodes
+        assert Opcode.CALL in opcodes
+        assert Opcode.PREFETCH in opcodes
+        assert Opcode.HINT in opcodes
+        assert Opcode.OUT in opcodes
+
+
+@pytest.mark.parametrize("profile", ALL_PROFILES,
+                         ids=[p.name for p in ALL_PROFILES])
+class TestAllProfilesExecute:
+    def test_runs_clean(self, profile):
+        program = synthesize(profile, 4000, seed=11)
+        result = FunctionalSimulator(program).run()
+        assert result.clean
+        assert result.outputs
+        # Deadness analysis must succeed on every profile.
+        analysis = analyze_deadness(result)
+        assert 0.03 < analysis.dead_fraction() < 0.5

@@ -1,0 +1,71 @@
+"""Calibration harness: per-profile and aggregate stats vs paper targets.
+
+Usage: python tools/calibrate.py [n_profiles] [target_instructions]
+
+Paper targets (baseline, no squashing): IPC 1.21; residency 29 % ACE /
+33 % un-ACE / 8 % Ex-ACE / 30 % idle; false-DUE composition ~18 %
+wrong-path+pred-false, 49 % neutral, 14 % FDD-reg, 8 % TDD-reg, 12 % mem.
+Squash-L1: IPC 1.19, SDC 22 %, DUE 51 %. Squash-L0: 1.09 / 19 % / 48 %.
+"""
+
+import sys
+
+from repro.experiments.common import ExperimentSettings, run_benchmark
+from repro.pipeline.config import Trigger
+from repro.workloads.spec2000 import ALL_PROFILES
+
+
+def main() -> None:
+    count = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    target = int(sys.argv[2]) if len(sys.argv) > 2 else 20_000
+    profiles = ALL_PROFILES[::max(1, len(ALL_PROFILES) // count)][:count]
+    settings = ExperimentSettings(target_instructions=target)
+
+    rows = []
+    for profile in profiles:
+        base = run_benchmark(profile, settings, Trigger.NONE)
+        l1 = run_benchmark(profile, settings, Trigger.L1_MISS)
+        l0 = run_benchmark(profile, settings, Trigger.L0_MISS)
+        r = base.report
+        res = r.residency_summary()
+        comps = r.false_due_components()
+        fdue = max(1e-9, r.false_due_avf)
+        share = {k: v / fdue for k, v in comps.items()}
+        rows.append((profile, base, l1, l0))
+        print(
+            f"{profile.name:18s} {profile.suite} ipc={r.ipc:5.2f} "
+            f"sdc={r.sdc_avf:5.1%} due={r.due_avf:5.1%} "
+            f"idle={res['idle']:5.1%} exA={res['ex_ace']:4.1%} "
+            f"unrd={res['unread']:4.1%} | "
+            f"wp+pf={share.get('wrong_path',0)+share.get('pred_false',0):4.1%} "
+            f"neu={share.get('neutral',0):4.1%} "
+            f"fddR={share.get('fdd_reg',0)+share.get('fdd_reg_return',0):4.1%} "
+            f"tddR={share.get('tdd_reg',0):4.1%} "
+            f"mem={share.get('fdd_mem',0)+share.get('tdd_mem',0):4.1%} | "
+            f"L1: ipc={l1.report.ipc:5.2f} sdc={l1.report.sdc_avf:5.1%} "
+            f"due={l1.report.due_avf:5.1%}  "
+            f"L0: ipc={l0.report.ipc:5.2f} sdc={l0.report.sdc_avf:5.1%}"
+        )
+
+    def avg(get):
+        return sum(get(row) for row in rows) / len(rows)
+
+    print("-" * 100)
+    print(f"AVG base : ipc={avg(lambda r: r[1].report.ipc):5.2f} "
+          f"sdc={avg(lambda r: r[1].report.sdc_avf):5.1%} "
+          f"due={avg(lambda r: r[1].report.due_avf):5.1%} "
+          f"idle={avg(lambda r: r[1].report.residency_summary()['idle']):5.1%} "
+          f"exA={avg(lambda r: r[1].report.residency_summary()['ex_ace']):5.1%} "
+          f"falseDUE={avg(lambda r: r[1].report.false_due_avf):5.1%}")
+    print(f"AVG L1sq : ipc={avg(lambda r: r[2].report.ipc):5.2f} "
+          f"sdc={avg(lambda r: r[2].report.sdc_avf):5.1%} "
+          f"due={avg(lambda r: r[2].report.due_avf):5.1%}")
+    print(f"AVG L0sq : ipc={avg(lambda r: r[3].report.ipc):5.2f} "
+          f"sdc={avg(lambda r: r[3].report.sdc_avf):5.1%} "
+          f"due={avg(lambda r: r[3].report.due_avf):5.1%}")
+    print("TARGET   : base ipc=1.21 sdc=29% due=62% idle=30% exA=8% "
+          "falseDUE=33% | L1 ipc=1.19 sdc=22% due=51% | L0 ipc=1.09 sdc=19% due=48%")
+
+
+if __name__ == "__main__":
+    main()

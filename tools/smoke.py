@@ -1,0 +1,80 @@
+"""One-minute smoke check of every deliverable.
+
+Runs a miniature version of each layer — synthesis, execution, analysis,
+timing, tracking, injection, one exhibit — and prints PASS/FAIL lines.
+Useful as a quick environment check before the full test/bench runs.
+
+    python tools/smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+def check(label, fn):
+    started = time.time()
+    try:
+        fn()
+    except Exception as error:  # noqa: BLE001 - smoke harness
+        print(f"FAIL {label}: {error!r}")
+        return False
+    print(f"PASS {label} ({time.time() - started:.1f}s)")
+    return True
+
+
+def main() -> int:
+    from repro import (
+        CampaignConfig,
+        ExperimentSettings,
+        Trigger,
+        TrackingLevel,
+        analyze_deadness,
+        due_avf_with_tracking,
+        get_profile,
+        run_benchmark,
+        run_campaign,
+    )
+    from repro.experiments import table1
+
+    settings = ExperimentSettings(target_instructions=6000, seed=1)
+    state = {}
+
+    def bench():
+        state["run"] = run_benchmark(get_profile("crafty"), settings,
+                                     Trigger.NONE)
+        assert state["run"].report.sdc_avf > 0
+
+    def squash():
+        squashed = run_benchmark(get_profile("crafty"), settings,
+                                 Trigger.L1_MISS)
+        assert squashed.report.sdc_avf < state["run"].report.sdc_avf
+
+    def tracking():
+        due = due_avf_with_tracking(state["run"].report.breakdown,
+                                    TrackingLevel.MEM_PI)
+        assert abs(due - state["run"].report.breakdown.true_due_avf) < 1e-9
+
+    def injection():
+        run = state["run"]
+        campaign = run_campaign(run.program, run.execution, run.pipeline,
+                                CampaignConfig(trials=40, seed=1))
+        assert campaign.trials == 40
+
+    def exhibit():
+        result = table1.run(settings, [get_profile("crafty")])
+        assert len(result.rows) == 3
+
+    ok = True
+    ok &= check("benchmark pipeline", bench)
+    ok &= check("exposure squash", squash)
+    ok &= check("false-DUE tracking", tracking)
+    ok &= check("fault injection", injection)
+    ok &= check("exhibit harness", exhibit)
+    print("SMOKE " + ("PASSED" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
