@@ -6,6 +6,13 @@ Environment knobs:
   (default 60000; the paper uses 100M SimPoints, see DESIGN.md scaling).
 * ``REPRO_BENCH_PROFILES`` — number of profiles (default: all 26).
 * ``REPRO_BENCH_TRIALS`` — fault-injection trials per campaign.
+* ``REPRO_BENCH_JOBS`` — worker processes for campaigns and benchmark
+  runs (default 1 = serial; results are bit-identical either way).
+* ``REPRO_BENCH_CACHE_DIR`` — persistent result-cache directory; a warm
+  re-run of an exhibit then performs zero pipeline simulations (check the
+  telemetry line printed at session end).
+* ``REPRO_BENCH_NO_CACHE`` — set (to anything non-empty) to bypass the
+  cache even when a directory is configured.
 
 Every exhibit benchmark writes its paper-style table to
 ``benchmarks/results/<exhibit>.txt`` so the regenerated rows are inspectable
@@ -20,6 +27,8 @@ from pathlib import Path
 import pytest
 
 from repro.experiments.common import ExperimentSettings
+from repro.runtime.cache import ResultCache
+from repro.runtime.context import RuntimeContext, get_runtime, set_runtime
 from repro.workloads.spec2000 import ALL_PROFILES
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -27,6 +36,21 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 def _env_int(name: str, default: int) -> int:
     return int(os.environ.get(name, default))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_runtime():
+    """Install the runtime context described by the REPRO_BENCH_* knobs."""
+    jobs = _env_int("REPRO_BENCH_JOBS", 1)
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR")
+    no_cache = bool(os.environ.get("REPRO_BENCH_NO_CACHE"))
+    cache = ResultCache(cache_dir) if cache_dir and not no_cache else None
+    previous = get_runtime()
+    context = set_runtime(RuntimeContext(jobs=jobs, cache=cache))
+    yield context
+    print()
+    print(context.telemetry.format_summary(cache=context.cache, jobs=jobs))
+    set_runtime(previous)
 
 
 @pytest.fixture(scope="session")

@@ -39,8 +39,17 @@ from repro.experiments.common import (
     BenchmarkRun,
     ExperimentSettings,
     run_benchmark,
+    run_benchmarks,
 )
 from repro.faults.campaign import CampaignConfig, run_campaign
+from repro.runtime.cache import ResultCache
+from repro.runtime.context import (
+    RuntimeContext,
+    configure,
+    get_runtime,
+    set_runtime,
+    use_runtime,
+)
 from repro.pipeline.config import MachineConfig, SquashAction, SquashConfig, Trigger
 from repro.pipeline.core import PipelineSimulator, simulate
 from repro.workloads.codegen import synthesize
@@ -69,8 +78,15 @@ __all__ = [
     "BenchmarkRun",
     "ExperimentSettings",
     "run_benchmark",
+    "run_benchmarks",
     "CampaignConfig",
     "run_campaign",
+    "ResultCache",
+    "RuntimeContext",
+    "configure",
+    "get_runtime",
+    "set_runtime",
+    "use_runtime",
     "MachineConfig",
     "SquashAction",
     "SquashConfig",

@@ -3,9 +3,14 @@
 Usage::
 
     python -m repro table1 --instructions 60000
-    python -m repro figure2 --profiles 8
-    python -m repro figure1 --trials 500
+    python -m repro figure2 --profiles 8 --jobs 4
+    python -m repro figure1 --trials 500 --cache-dir ~/.cache/repro
     python -m repro all --profiles 6 --instructions 20000
+
+``--jobs N`` fans benchmark runs and campaign trials out over N worker
+processes; results are bit-identical to the serial default. ``--cache-dir``
+enables the persistent result cache (``--no-cache`` bypasses it), and the
+telemetry footer reports simulations run, throughput, and hit rates.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from repro.experiments import (
     table2,
 )
 from repro.experiments.common import ExperimentSettings
+from repro.runtime.context import configure
 from repro.workloads.spec2000 import ALL_PROFILES
 
 
@@ -117,11 +123,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=2004,
         help="root seed for deterministic replay (default 2004)")
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for campaigns and benchmark runs "
+             "(default 1 = serial; results are identical either way)")
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="directory for the persistent result cache (default: off)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent cache entirely (no reads, no writes)")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    runtime = configure(jobs=args.jobs, cache_dir=args.cache_dir,
+                        no_cache=args.no_cache)
     runners = _exhibit_runners(args)
     if args.exhibit == "all":
         names = ["table1", "table2", "occupancy", "figure1", "figure2",
@@ -134,6 +155,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         elapsed = time.time() - started
         print(text)
         print(f"\n[{name} regenerated in {elapsed:.1f}s]\n")
+    print(runtime.telemetry.format_summary(cache=runtime.cache,
+                                           jobs=runtime.jobs))
     return 0
 
 

@@ -10,12 +10,16 @@ from repro.experiments.common import (
     BenchmarkRun,
     ExperimentSettings,
     average_reports,
+    prefetch_functional,
     run_benchmark,
+    run_benchmarks,
 )
 
 __all__ = [
     "BenchmarkRun",
     "ExperimentSettings",
     "average_reports",
+    "prefetch_functional",
     "run_benchmark",
+    "run_benchmarks",
 ]

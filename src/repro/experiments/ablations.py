@@ -24,6 +24,7 @@ from repro.avf.occupancy import AccountingPolicy, compute_breakdown
 from repro.experiments.common import (
     ExperimentSettings,
     functional_parts,
+    prefetch_functional,
     run_benchmark,
 )
 from repro.pipeline.config import (
@@ -61,6 +62,7 @@ class AblationResult:
 def _mean_over(profiles, settings, machine_fn, policy):
     """Average IPC/SDC/DUE over profiles for a machine-config factory."""
     ipc = sdc = due = 0.0
+    prefetch_functional(profiles, settings)
     for profile in profiles:
         program, execution, deadness = functional_parts(profile, settings)
         machine = machine_fn(profile)

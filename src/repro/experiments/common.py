@@ -23,6 +23,8 @@ from repro.isa.program import Program
 from repro.pipeline.config import MachineConfig, SquashConfig, Trigger
 from repro.pipeline.core import PipelineSimulator
 from repro.pipeline.result import PipelineResult
+from repro.runtime.cache import MISS, cache_key
+from repro.runtime.context import get_runtime
 from repro.workloads.codegen import synthesize
 from repro.workloads.profile import BenchmarkProfile
 
@@ -68,21 +70,50 @@ def clear_caches() -> None:
     _run_cache.clear()
 
 
+def _functional_key(profile: BenchmarkProfile,
+                    settings: ExperimentSettings) -> Tuple:
+    return (profile.name, settings.target_instructions, settings.seed)
+
+
+def _run_key(profile: BenchmarkProfile, settings: ExperimentSettings,
+             trigger: Trigger) -> Tuple:
+    return (profile.name, settings.target_instructions, settings.seed,
+            trigger, settings.machine.squash.action,
+            settings.machine.squash.resume_at_miss_return)
+
+
 def functional_parts(
     profile: BenchmarkProfile, settings: ExperimentSettings
 ) -> Tuple[Program, ExecutionResult, DeadnessAnalysis]:
-    """Synthesize + execute + classify once per (profile, size, seed)."""
-    key = (profile.name, settings.target_instructions, settings.seed)
-    if key not in _functional_cache:
-        program = synthesize(profile, settings.target_instructions,
-                             seed=settings.seed)
-        execution = FunctionalSimulator(program).run()
-        if not execution.clean:
-            raise RuntimeError(
-                f"synthetic program {profile.name} did not halt cleanly: "
-                f"{execution.status}")
-        deadness = analyze_deadness(execution)
-        _functional_cache[key] = (program, execution, deadness)
+    """Synthesize + execute + classify once per (profile, size, seed).
+
+    Consults the active runtime context's persistent cache (if any)
+    before simulating; every simulation ticks the telemetry counters.
+    """
+    key = _functional_key(profile, settings)
+    if key in _functional_cache:
+        return _functional_cache[key]
+    runtime = get_runtime()
+    disk_key = None
+    if runtime.cache is not None:
+        disk_key = cache_key("functional", profile,
+                             settings.target_instructions, settings.seed)
+        cached = runtime.cache.get(disk_key)
+        if cached is not MISS:
+            _functional_cache[key] = cached
+            return cached
+    program = synthesize(profile, settings.target_instructions,
+                         seed=settings.seed)
+    execution = FunctionalSimulator(program).run()
+    if not execution.clean:
+        raise RuntimeError(
+            f"synthetic program {profile.name} did not halt cleanly: "
+            f"{execution.status}")
+    deadness = analyze_deadness(execution)
+    runtime.telemetry.increment("functional_sims")
+    _functional_cache[key] = (program, execution, deadness)
+    if disk_key is not None:
+        runtime.cache.put(disk_key, _functional_cache[key])
     return _functional_cache[key]
 
 
@@ -91,22 +122,101 @@ def run_benchmark(
     settings: Optional[ExperimentSettings] = None,
     trigger: Trigger = Trigger.NONE,
 ) -> BenchmarkRun:
-    """Full flow for one benchmark at one squash trigger (memoised)."""
+    """Full flow for one benchmark at one squash trigger (memoised).
+
+    The persistent-cache entry for the timing half stores only
+    ``(pipeline, report)``; the (much larger) functional parts are cached
+    once per (profile, size, seed) and shared by every squash trigger.
+    """
     settings = settings or ExperimentSettings()
-    key = (profile.name, settings.target_instructions, settings.seed,
-           trigger, settings.machine.squash.action,
-           settings.machine.squash.resume_at_miss_return)
+    key = _run_key(profile, settings, trigger)
     if key in _run_cache:
         return _run_cache[key]
-    program, execution, deadness = functional_parts(profile, settings)
+    runtime = get_runtime()
     machine = settings.machine_for(profile, trigger)
+    disk_key = None
+    if runtime.cache is not None:
+        disk_key = cache_key("run", profile, settings.target_instructions,
+                             settings.seed, machine)
+        cached = runtime.cache.get(disk_key)
+        if cached is not MISS:
+            pipeline, report = cached
+            program, execution, deadness = functional_parts(profile, settings)
+            run = BenchmarkRun(profile=profile, program=program,
+                               execution=execution, deadness=deadness,
+                               pipeline=pipeline, report=report)
+            _run_cache[key] = run
+            return run
+    program, execution, deadness = functional_parts(profile, settings)
     pipeline = PipelineSimulator(program, execution.trace, machine,
                                  seed=settings.seed).run()
+    runtime.telemetry.increment("pipeline_sims")
     report = compute_iq_avf(profile.name, pipeline, deadness)
     run = BenchmarkRun(profile=profile, program=program, execution=execution,
                        deadness=deadness, pipeline=pipeline, report=report)
     _run_cache[key] = run
+    if disk_key is not None:
+        runtime.cache.put(disk_key, (pipeline, report))
     return run
+
+
+def run_benchmarks(
+    profiles: Iterable[BenchmarkProfile],
+    settings: Optional[ExperimentSettings] = None,
+    trigger: Trigger = Trigger.NONE,
+    jobs: Optional[int] = None,
+) -> List[BenchmarkRun]:
+    """Batch :func:`run_benchmark`, fanning misses out across processes.
+
+    With ``jobs`` (or the active context's worker count) above one, the
+    profiles not already memoised are computed in worker processes; each
+    worker writes through to the shared persistent cache, and results are
+    returned in ``profiles`` order, bit-identical to the serial path.
+    """
+    settings = settings or ExperimentSettings()
+    profiles = list(profiles)
+    runtime = get_runtime()
+    effective_jobs = runtime.jobs if jobs is None else jobs
+    if effective_jobs > 1:
+        pending = [p for p in profiles
+                   if _run_key(p, settings, trigger) not in _run_cache]
+        if len(pending) > 1:
+            from repro.runtime.engine import run_benchmarks_parallel
+
+            runs = run_benchmarks_parallel(
+                pending, settings, trigger, effective_jobs,
+                cache_dir=runtime.cache_dir, telemetry=runtime.telemetry)
+            for profile, run in zip(pending, runs):
+                _run_cache[_run_key(profile, settings, trigger)] = run
+                _functional_cache.setdefault(
+                    _functional_key(profile, settings),
+                    (run.program, run.execution, run.deadness))
+    return [run_benchmark(profile, settings, trigger)
+            for profile in profiles]
+
+
+def prefetch_functional(
+    profiles: Iterable[BenchmarkProfile],
+    settings: Optional[ExperimentSettings] = None,
+    jobs: Optional[int] = None,
+) -> List[Tuple[Program, ExecutionResult, DeadnessAnalysis]]:
+    """Batch :func:`functional_parts` across worker processes."""
+    settings = settings or ExperimentSettings()
+    profiles = list(profiles)
+    runtime = get_runtime()
+    effective_jobs = runtime.jobs if jobs is None else jobs
+    if effective_jobs > 1:
+        pending = [p for p in profiles
+                   if _functional_key(p, settings) not in _functional_cache]
+        if len(pending) > 1:
+            from repro.runtime.engine import functional_parallel
+
+            parts = functional_parallel(
+                pending, settings, effective_jobs,
+                cache_dir=runtime.cache_dir, telemetry=runtime.telemetry)
+            for profile, part in zip(pending, parts):
+                _functional_cache[_functional_key(profile, settings)] = part
+    return [functional_parts(profile, settings) for profile in profiles]
 
 
 def average_reports(reports: Iterable[IqAvfReport]) -> Dict[str, float]:

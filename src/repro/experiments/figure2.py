@@ -17,7 +17,7 @@ from repro.due.tracking import (
     TrackingLevel,
     false_due_coverage,
 )
-from repro.experiments.common import ExperimentSettings, run_benchmark
+from repro.experiments.common import ExperimentSettings, run_benchmarks
 from repro.pipeline.config import Trigger
 from repro.util.tables import format_table
 from repro.workloads.profile import BenchmarkProfile
@@ -77,9 +77,9 @@ def run(
     settings = settings or ExperimentSettings()
     profiles = list(profiles or ALL_PROFILES)
     rows = []
-    for profile in profiles:
-        breakdown = run_benchmark(profile, settings, Trigger.NONE) \
-            .report.breakdown
+    runs = run_benchmarks(profiles, settings, Trigger.NONE)
+    for profile, bench_run in zip(profiles, runs):
+        breakdown = bench_run.report.breakdown
         coverage = {
             level: false_due_coverage(breakdown, level, pet_entries)
             for level in _LEVELS

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.deadcode import DynClass
 from repro.due.pet import DEFAULT_PET_SIZES, pet_coverage_by_size
-from repro.experiments.common import ExperimentSettings, functional_parts
+from repro.experiments.common import ExperimentSettings, prefetch_functional
 from repro.util.tables import format_table
 from repro.workloads.profile import BenchmarkProfile
 from repro.workloads.spec2000 import ALL_PROFILES
@@ -51,8 +51,7 @@ def run(
     sizes = tuple(sizes)
     totals: Dict[str, Dict[int, float]] = {
         label: {size: 0.0 for size in sizes} for label, _ in SERIES}
-    for profile in profiles:
-        _, _, deadness = functional_parts(profile, settings)
+    for _, _, deadness in prefetch_functional(profiles, settings):
         for label, classes in SERIES:
             coverage = pet_coverage_by_size(
                 deadness, sizes, classes=classes,

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.due.tracking import TrackingLevel, due_avf_with_tracking
-from repro.experiments.common import ExperimentSettings, run_benchmark
+from repro.experiments.common import ExperimentSettings, run_benchmarks
 from repro.pipeline.config import Trigger
 from repro.util.tables import format_table
 from repro.workloads.profile import BenchmarkProfile
@@ -71,9 +71,11 @@ def run(
     settings = settings or ExperimentSettings()
     profiles = list(profiles or ALL_PROFILES)
     rows = []
-    for profile in profiles:
-        base = run_benchmark(profile, settings, Trigger.NONE).report
-        opt = run_benchmark(profile, settings, Trigger.L1_MISS).report
+    base_runs = run_benchmarks(profiles, settings, Trigger.NONE)
+    opt_runs = run_benchmarks(profiles, settings, Trigger.L1_MISS)
+    for profile, base_run, opt_run in zip(profiles, base_runs, opt_runs):
+        base = base_run.report
+        opt = opt_run.report
         rows.append(Figure4Row(
             benchmark=profile.name,
             suite=profile.suite,

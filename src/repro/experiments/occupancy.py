@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.common import ExperimentSettings, run_benchmark
+from repro.experiments.common import ExperimentSettings, run_benchmarks
 from repro.pipeline.config import Trigger
 from repro.util.tables import format_table
 from repro.workloads.profile import BenchmarkProfile
@@ -60,8 +60,9 @@ def run(
     settings = settings or ExperimentSettings()
     profiles = list(profiles or ALL_PROFILES)
     rows = []
-    for profile in profiles:
-        report = run_benchmark(profile, settings, Trigger.NONE).report
+    runs = run_benchmarks(profiles, settings, Trigger.NONE)
+    for profile, bench_run in zip(profiles, runs):
+        report = bench_run.report
         summary = report.residency_summary()
         rows.append(OccupancyRow(
             benchmark=profile.name,

@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.experiments.common import (
     ExperimentSettings,
     average_reports,
-    run_benchmark,
+    run_benchmarks,
 )
 from repro.pipeline.config import Trigger
 from repro.util.tables import format_table
@@ -78,10 +78,9 @@ def run(
     rows: List[Table1Row] = []
     details: Dict[str, Dict[str, object]] = {}
     for label, trigger in _DESIGN_POINTS:
-        reports = {}
-        for profile in profiles:
-            run_ = run_benchmark(profile, settings, trigger)
-            reports[profile.name] = run_.report
+        runs = run_benchmarks(profiles, settings, trigger)
+        reports = {profile.name: run_.report
+                   for profile, run_ in zip(profiles, runs)}
         means = average_reports(reports.values())
         rows.append(Table1Row(
             design_point=label,

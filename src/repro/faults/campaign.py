@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 from math import sqrt
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.arch.result import ExecutionResult
 from repro.due.outcomes import FaultOutcome
@@ -14,6 +15,8 @@ from repro.faults.injector import evaluate_strike
 from repro.faults.model import StrikeModel
 from repro.isa.program import Program
 from repro.pipeline.result import PipelineResult
+from repro.runtime.cache import MISS, cache_key
+from repro.runtime.context import get_runtime
 from repro.util.rng import DeterministicRng, derive_seed
 
 
@@ -32,6 +35,10 @@ class CampaignConfig:
     def __post_init__(self) -> None:
         if self.trials <= 0:
             raise ValueError("trials must be positive")
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+        if self.pet_entries <= 0:
+            raise ValueError("pet_entries must be positive")
         if self.ecc and self.parity:
             raise ValueError("choose parity (detection) or ecc (correction)")
 
@@ -87,20 +94,36 @@ class CampaignResult:
                 for o in FaultOutcome if self.counts[o]}
 
 
-def run_campaign(
+def trial_seed(config: CampaignConfig, program_name: str, index: int) -> int:
+    """Seed of trial ``index``'s private RNG stream.
+
+    Each trial draws from its own :func:`derive_seed` stream, so a
+    trial's strike depends only on its index — never on how many trials
+    ran before it in the same process. That is the determinism contract
+    the parallel engine relies on: any sharding of the index space
+    reproduces the serial campaign bit-for-bit. ``ecc`` is deliberately
+    excluded so ECC and unprotected campaigns with the same seed see the
+    identical strike sequence (the tests compare them directly).
+    """
+    return derive_seed(config.seed, "campaign", program_name,
+                       config.parity, int(config.tracking), "trial", index)
+
+
+def run_trial_block(
     program: Program,
     baseline: ExecutionResult,
     pipeline_result: PipelineResult,
-    config: Optional[CampaignConfig] = None,
-) -> CampaignResult:
-    """Inject ``config.trials`` uniform strikes and classify each outcome."""
-    config = config or CampaignConfig()
-    rng = DeterministicRng(derive_seed(config.seed, "campaign", program.name,
-                                       config.parity, int(config.tracking)))
-    sampler = StrikeModel(pipeline_result, rng)
-    result = CampaignResult(config=config)
-    for _ in range(config.trials):
-        strike = sampler.sample()
+    config: CampaignConfig,
+    start: int,
+    stop: int,
+) -> Tuple[Counter, int]:
+    """Classify trials ``[start, stop)``; returns (counts, tracker misses)."""
+    sampler = StrikeModel(pipeline_result)
+    counts: Counter = Counter()
+    tracker_misses = 0
+    for index in range(start, stop):
+        rng = DeterministicRng(trial_seed(config, program.name, index))
+        strike = sampler.sample(rng)
         verdict = evaluate_strike(
             strike, program, baseline,
             parity=config.parity,
@@ -108,7 +131,56 @@ def run_campaign(
             pet_entries=config.pet_entries,
             ecc=config.ecc,
         )
-        result.counts[verdict.outcome] += 1
+        counts[verdict.outcome] += 1
         if verdict.tracker_miss:
-            result.tracker_misses += 1
-    return result
+            tracker_misses += 1
+    return counts, tracker_misses
+
+
+def run_campaign(
+    program: Program,
+    baseline: ExecutionResult,
+    pipeline_result: PipelineResult,
+    config: Optional[CampaignConfig] = None,
+    jobs: Optional[int] = None,
+) -> CampaignResult:
+    """Inject ``config.trials`` uniform strikes and classify each outcome.
+
+    ``jobs`` defaults to the active runtime context's worker count; with
+    more than one worker the trial index space is sharded across
+    processes, producing tallies bit-identical to the serial path. When
+    the context carries a persistent cache, the full tally is stored
+    under a key covering the program bytes, the pipeline result, and the
+    campaign config — a warm re-run injects nothing.
+    """
+    config = config or CampaignConfig()
+    runtime = get_runtime()
+    telemetry = runtime.telemetry
+    effective_jobs = runtime.jobs if jobs is None else jobs
+
+    disk_key = None
+    if runtime.cache is not None:
+        disk_key = cache_key("campaign", program, pipeline_result, config)
+        cached = runtime.cache.get(disk_key)
+        if cached is not MISS:
+            counts, tracker_misses = cached
+            return CampaignResult(config=config, counts=Counter(counts),
+                                  tracker_misses=tracker_misses)
+
+    began = time.perf_counter()
+    if effective_jobs > 1 and config.trials > 1:
+        from repro.runtime.engine import run_campaign_parallel
+
+        counts, tracker_misses = run_campaign_parallel(
+            program, baseline, pipeline_result, config, effective_jobs,
+            telemetry=telemetry)
+    else:
+        counts, tracker_misses = run_trial_block(
+            program, baseline, pipeline_result, config, 0, config.trials)
+    telemetry.increment("campaign_trials", config.trials)
+    telemetry.add_time("campaign", time.perf_counter() - began)
+
+    if disk_key is not None:
+        runtime.cache.put(disk_key, (dict(counts), tracker_misses))
+    return CampaignResult(config=config, counts=counts,
+                          tracker_misses=tracker_misses)

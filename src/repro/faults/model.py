@@ -38,7 +38,8 @@ class StrikeModel:
     the exposure model behind the AVF equations of Section 2.
     """
 
-    def __init__(self, result: PipelineResult, rng: DeterministicRng) -> None:
+    def __init__(self, result: PipelineResult,
+                 rng: Optional[DeterministicRng] = None) -> None:
         self._rng = rng
         self._intervals = result.intervals
         self._cumulative: List[int] = []
@@ -53,10 +54,18 @@ class StrikeModel:
         if self._resident_total > self._space_total:
             raise ValueError("occupancy exceeds the entry-cycle space")
 
-    def sample(self) -> Strike:
-        """Draw one strike."""
-        bit = self._rng.randrange(ENCODING_BITS)
-        point = self._rng.randrange(self._space_total)
+    def sample(self, rng: Optional[DeterministicRng] = None) -> Strike:
+        """Draw one strike from ``rng`` (default: the bound stream).
+
+        Passing an explicit per-trial stream makes the draw independent
+        of sampler state, which is what lets campaign shards reproduce
+        the serial trial sequence exactly.
+        """
+        rng = rng if rng is not None else self._rng
+        if rng is None:
+            raise ValueError("no rng bound at construction or passed in")
+        bit = rng.randrange(ENCODING_BITS)
+        point = rng.randrange(self._space_total)
         if point >= self._resident_total:
             return Strike(interval=None, cycle=0, bit=bit)
         index = bisect_right(self._cumulative, point)

@@ -1,0 +1,35 @@
+"""Parallel execution runtime: process fan-out, result cache, telemetry.
+
+The runtime is deliberately orthogonal to the simulator: experiments and
+campaigns consult the *active* :class:`~repro.runtime.context.RuntimeContext`
+(jobs, cache, telemetry) but compute identical results whether they run
+serially, across worker processes, or out of the persistent cache.
+"""
+
+from repro.runtime.cache import CODE_VERSION, MISS, ResultCache, cache_key
+from repro.runtime.context import (
+    RuntimeContext,
+    configure,
+    get_runtime,
+    reset_runtime,
+    set_runtime,
+    use_runtime,
+)
+from repro.runtime.engine import shard_trials
+from repro.runtime.telemetry import Telemetry, WorkerTiming
+
+__all__ = [
+    "CODE_VERSION",
+    "MISS",
+    "ResultCache",
+    "RuntimeContext",
+    "Telemetry",
+    "WorkerTiming",
+    "cache_key",
+    "configure",
+    "get_runtime",
+    "reset_runtime",
+    "set_runtime",
+    "shard_trials",
+    "use_runtime",
+]

@@ -1,0 +1,178 @@
+"""Content-addressed persistent result cache.
+
+Keys are sha256 digests over a canonical token stream of every ingredient
+that determines a result: the program's instruction bytes, the machine /
+squash / campaign configuration, the experiment seed, and a code-version
+tag bumped whenever simulation semantics change. Values are pickles on
+disk under ``<root>/<key[:2]>/<key>.pkl``, written atomically so parallel
+workers can share one cache directory.
+
+Failure policy: the cache must never take a run down. Unreadable,
+truncated, or otherwise corrupt entries are treated as misses and
+recomputed; write failures are swallowed (and counted) so a read-only
+cache directory degrades to a pass-through.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from enum import Enum
+from pathlib import Path
+from typing import Any, Iterator, Union
+
+#: Bump whenever a change alters simulation semantics (and therefore any
+#: previously cached result). Part of every cache key.
+CODE_VERSION = "repro-runtime-1"
+
+#: Sentinel distinguishing "no entry" from a cached ``None``.
+MISS = object()
+
+_SEP = b"\x1f"
+
+
+def _tokens(obj: Any) -> Iterator[bytes]:
+    """Canonical byte tokens for every object a cache key may contain."""
+    # Local imports: the simulator packages must not depend on the runtime.
+    from repro.isa.instruction import Instruction
+    from repro.isa.program import Program
+    from repro.pipeline.iq import OccupancyInterval
+    from repro.pipeline.result import PipelineResult
+
+    if obj is None:
+        yield b"none"
+    elif isinstance(obj, bool):
+        yield b"bool:" + (b"1" if obj else b"0")
+    elif isinstance(obj, int):
+        yield b"int:" + str(obj).encode()
+    elif isinstance(obj, float):
+        yield b"float:" + repr(obj).encode()
+    elif isinstance(obj, str):
+        yield b"str:" + obj.encode()
+    elif isinstance(obj, bytes):
+        yield b"bytes:" + obj
+    elif isinstance(obj, Enum):
+        yield f"enum:{type(obj).__name__}:{obj.value}".encode()
+    elif isinstance(obj, Instruction):
+        yield b"insn:" + str(obj.encode()).encode()
+    elif isinstance(obj, Program):
+        yield b"program:" + obj.name.encode()
+        yield from _tokens((obj.entry, obj.data_words))
+        yield b",".join(str(i.encode()).encode() for i in obj.instructions)
+        for info in obj.functions:
+            yield f"fn:{info.name}:{info.entry}:{info.end}".encode()
+        yield from _tokens(sorted(
+            (k, repr(v)) for k, v in obj.metadata.items()))
+    elif isinstance(obj, OccupancyInterval):
+        issue = -1 if obj.issue_cycle is None else obj.issue_cycle
+        seq = -1 if obj.seq is None else obj.seq
+        yield (f"ivl:{seq}:{obj.kind.value}:{obj.alloc_cycle}:"
+               f"{issue}:{obj.dealloc_cycle}:"
+               f"{obj.instruction.encode()}").encode()
+    elif isinstance(obj, PipelineResult):
+        yield b"pipeline"
+        yield from _tokens((obj.cycles, obj.committed, obj.iq_entries))
+        yield from _tokens(sorted(obj.stats.items()))
+        for interval in obj.intervals:
+            yield from _tokens(interval)
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        yield b"dc:" + type(obj).__name__.encode()
+        for field in dataclasses.fields(obj):
+            yield b"f:" + field.name.encode()
+            yield from _tokens(getattr(obj, field.name))
+    elif isinstance(obj, dict):
+        yield b"dict"
+        for key in sorted(obj, key=repr):
+            yield from _tokens(key)
+            yield from _tokens(obj[key])
+    elif isinstance(obj, (list, tuple)):
+        yield b"seq"
+        for item in obj:
+            yield from _tokens(item)
+    elif isinstance(obj, (set, frozenset)):
+        yield b"set"
+        for item in sorted(obj, key=repr):
+            yield from _tokens(item)
+    else:
+        raise TypeError(
+            f"cannot derive a cache key from {type(obj).__name__}; "
+            f"add an explicit canonical form to repro.runtime.cache")
+
+
+def cache_key(*parts: Any) -> str:
+    """sha256 hex digest of ``CODE_VERSION`` plus the canonical parts."""
+    digest = hashlib.sha256()
+    digest.update(CODE_VERSION.encode())
+    for part in parts:
+        for token in _tokens(part):
+            digest.update(_SEP)
+            digest.update(token)
+    return digest.hexdigest()
+
+
+def fingerprint_program(program: Any) -> str:
+    """Content hash of a program's code, layout, and metadata."""
+    return cache_key(program)
+
+
+class ResultCache:
+    """Pickle-on-disk store addressed by :func:`cache_key` digests."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.errors = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Any:
+        """Stored value for ``key``, or :data:`MISS` (never raises)."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return MISS
+        except Exception:
+            # Corrupt, truncated, or unpicklable entry: treat as a miss;
+            # the recompute will overwrite it.
+            self.errors += 1
+            self.misses += 1
+            return MISS
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> bool:
+        """Atomically store ``value``; returns False on (counted) failure."""
+        path = self.path_for(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                            prefix=".tmp-", suffix=".pkl")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            self.errors += 1
+            return False
+        self.puts += 1
+        return True
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.pkl"))

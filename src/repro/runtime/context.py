@@ -1,0 +1,93 @@
+"""The active runtime: worker count, persistent cache, telemetry.
+
+Experiments and campaigns read the process-wide context installed here;
+the default is serial with no persistent cache, which preserves the
+pre-runtime behaviour exactly. The CLI and the benchmark suite install a
+configured context from ``--jobs`` / ``--cache-dir`` / ``--no-cache``
+flags (or their ``REPRO_BENCH_*`` environment twins).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.telemetry import Telemetry
+
+
+@dataclass
+class RuntimeContext:
+    """Everything the execution engine needs to know about *how* to run."""
+
+    jobs: int = 1
+    cache: Optional[ResultCache] = None
+    telemetry: Telemetry = field(default_factory=Telemetry)
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+
+    @property
+    def cache_dir(self) -> Optional[str]:
+        """Cache root as a plain string (picklable, for worker handoff)."""
+        return None if self.cache is None else str(self.cache.root)
+
+
+_current = RuntimeContext()
+
+
+def get_runtime() -> RuntimeContext:
+    return _current
+
+
+def set_runtime(context: RuntimeContext) -> RuntimeContext:
+    global _current
+    _current = context
+    return context
+
+
+def reset_runtime() -> RuntimeContext:
+    """Back to the serial, cache-less default (mainly for tests)."""
+    return set_runtime(RuntimeContext())
+
+
+def configure(
+    jobs: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    no_cache: bool = False,
+) -> RuntimeContext:
+    """Build and install a context from CLI-style knobs.
+
+    ``no_cache`` wins over ``cache_dir``: it disables both cache reads
+    and cache writes even when a directory is supplied.
+    """
+    cache = None
+    if cache_dir is not None and not no_cache:
+        cache = ResultCache(cache_dir)
+    return set_runtime(RuntimeContext(jobs=jobs, cache=cache))
+
+
+@contextmanager
+def use_runtime(
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    no_cache: bool = False,
+    telemetry: Optional[Telemetry] = None,
+) -> Iterator[RuntimeContext]:
+    """Scoped context install; restores the previous context on exit."""
+    if cache is None and cache_dir is not None and not no_cache:
+        cache = ResultCache(cache_dir)
+    if no_cache:
+        cache = None
+    context = RuntimeContext(jobs=jobs, cache=cache,
+                             telemetry=telemetry or Telemetry())
+    previous = get_runtime()
+    set_runtime(context)
+    try:
+        yield context
+    finally:
+        set_runtime(previous)

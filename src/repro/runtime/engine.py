@@ -1,0 +1,171 @@
+"""Process fan-out for campaigns and experiments.
+
+Determinism contract: every parallel entry point here produces results
+bit-identical to its serial counterpart, for any worker count and any
+scheduling order. Campaign trials draw from per-trial seed streams
+(:func:`repro.util.rng.derive_seed` over the trial index), so a shard's
+tallies depend only on *which* trial indices it covers — and
+:func:`shard_trials` covers each index exactly once. Benchmark runs are
+deterministic functions of ``(profile, settings, trigger)``, so mapping
+them over processes changes wall-clock time, never values. Merges happen
+in submission order and are commutative anyway (counter sums, ordered
+result lists).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.runtime.telemetry import Telemetry
+
+
+def shard_trials(trials: int, shards: int) -> List[range]:
+    """Partition ``range(trials)`` into at most ``shards`` contiguous,
+    non-empty blocks whose concatenation is exactly ``range(trials)``."""
+    if trials < 0:
+        raise ValueError("trials must be non-negative")
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if trials == 0:
+        return []
+    shards = min(shards, trials)
+    base, extra = divmod(trials, shards)
+    blocks: List[range] = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        blocks.append(range(start, start + size))
+        start += size
+    return blocks
+
+
+def _campaign_shard(program, baseline, pipeline_result, config,
+                    start: int, stop: int):
+    """Worker: classify trials [start, stop) and time the shard."""
+    from repro.faults.campaign import run_trial_block
+
+    began = time.perf_counter()
+    counts, tracker_misses = run_trial_block(
+        program, baseline, pipeline_result, config, start, stop)
+    return counts, tracker_misses, time.perf_counter() - began
+
+
+def run_campaign_parallel(
+    program,
+    baseline,
+    pipeline_result,
+    config,
+    jobs: int,
+    telemetry: Optional[Telemetry] = None,
+) -> Tuple[Counter, int]:
+    """Fan campaign trials out over ``jobs`` worker processes."""
+    shards = shard_trials(config.trials, jobs)
+    counts: Counter = Counter()
+    tracker_misses = 0
+    with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+        futures = [
+            pool.submit(_campaign_shard, program, baseline, pipeline_result,
+                        config, block.start, block.stop)
+            for block in shards
+        ]
+        for worker, (block, future) in enumerate(zip(shards, futures)):
+            shard_counts, shard_misses, seconds = future.result()
+            counts.update(shard_counts)
+            tracker_misses += shard_misses
+            if telemetry is not None:
+                telemetry.record_worker("campaign", worker, len(block),
+                                        seconds)
+    return counts, tracker_misses
+
+
+def _worker_counters(context) -> dict:
+    """A worker's telemetry snapshot, with its cache traffic folded in so
+    the parent's merged counters account for every hit and miss."""
+    counters = dict(context.telemetry.counters)
+    if context.cache is not None:
+        counters["cache_hits"] = context.cache.hits
+        counters["cache_misses"] = context.cache.misses
+        counters["cache_puts"] = context.cache.puts
+        counters["cache_errors"] = context.cache.errors
+    return counters
+
+
+def _benchmark_task(profile, settings, trigger, cache_dir: Optional[str]):
+    """Worker: one full benchmark run under a private serial context."""
+    from repro.experiments.common import run_benchmark
+    from repro.runtime.cache import ResultCache
+    from repro.runtime.context import RuntimeContext, set_runtime
+
+    cache = ResultCache(cache_dir) if cache_dir else None
+    context = set_runtime(RuntimeContext(jobs=1, cache=cache))
+    began = time.perf_counter()
+    run = run_benchmark(profile, settings, trigger)
+    elapsed = time.perf_counter() - began
+    return run, _worker_counters(context), elapsed
+
+
+def run_benchmarks_parallel(
+    profiles: Sequence[Any],
+    settings,
+    trigger,
+    jobs: int,
+    cache_dir: Optional[str] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> List[Any]:
+    """Map ``run_benchmark`` over profiles across worker processes.
+
+    Returns :class:`BenchmarkRun` objects in ``profiles`` order. Each
+    worker opens its own handle on the shared cache directory (writes are
+    atomic), and its counter snapshot is merged into ``telemetry``.
+    """
+    results: List[Any] = []
+    with ProcessPoolExecutor(max_workers=min(jobs, len(profiles))) as pool:
+        futures = [
+            pool.submit(_benchmark_task, profile, settings, trigger,
+                        cache_dir)
+            for profile in profiles
+        ]
+        for worker, future in enumerate(futures):
+            run, counters, seconds = future.result()
+            if telemetry is not None:
+                telemetry.merge_counters(counters)
+                telemetry.record_worker("benchmark", worker, 1, seconds)
+            results.append(run)
+    return results
+
+
+def _functional_task(profile, settings, cache_dir: Optional[str]):
+    """Worker: synthesize + execute + classify one profile."""
+    from repro.experiments.common import functional_parts
+    from repro.runtime.cache import ResultCache
+    from repro.runtime.context import RuntimeContext, set_runtime
+
+    cache = ResultCache(cache_dir) if cache_dir else None
+    context = set_runtime(RuntimeContext(jobs=1, cache=cache))
+    parts = functional_parts(profile, settings)
+    return parts, _worker_counters(context)
+
+
+def functional_parallel(
+    profiles: Sequence[Any],
+    settings,
+    jobs: int,
+    cache_dir: Optional[str] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> List[Any]:
+    """Map ``functional_parts`` over profiles across worker processes."""
+    results: List[Any] = []
+    with ProcessPoolExecutor(max_workers=min(jobs, len(profiles))) as pool:
+        futures = [
+            pool.submit(_functional_task, profile, settings, cache_dir)
+            for profile in profiles
+        ]
+        for future in futures:
+            parts, counters = future.result()
+            if telemetry is not None:
+                telemetry.merge_counters(counters)
+            results.append(parts)
+    return results

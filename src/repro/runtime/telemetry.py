@@ -1,0 +1,103 @@
+"""Progress and throughput counters for the parallel runtime.
+
+A :class:`Telemetry` instance lives on the active runtime context and is
+ticked by the campaign engine, the experiment plumbing, and the result
+cache. Worker processes run with their own (fresh) telemetry; the engine
+merges their counter snapshots back into the parent after each fan-out,
+so parent-side totals are accurate regardless of the worker count.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class WorkerTiming:
+    """Wall-clock record for one worker's share of one fan-out."""
+
+    label: str
+    worker: int
+    items: int
+    seconds: float
+
+
+class Telemetry:
+    """Monotonic counters plus labelled time spans and worker timings."""
+
+    def __init__(self) -> None:
+        self.counters: Counter = Counter()
+        self.spans: Dict[str, float] = {}
+        self.worker_timings: List[WorkerTiming] = []
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+
+    def add_time(self, label: str, seconds: float) -> None:
+        self.spans[label] = self.spans.get(label, 0.0) + seconds
+
+    def record_worker(self, label: str, worker: int, items: int,
+                      seconds: float) -> None:
+        self.worker_timings.append(
+            WorkerTiming(label=label, worker=worker, items=items,
+                         seconds=seconds))
+
+    def merge_counters(self, counters: Mapping[str, int]) -> None:
+        """Fold a worker process's counter snapshot into this instance."""
+        for name, amount in counters.items():
+            self.counters[name] += amount
+
+    @property
+    def trials_per_second(self) -> float:
+        """Campaign throughput over every campaign run so far."""
+        elapsed = self.spans.get("campaign", 0.0)
+        if elapsed <= 0.0:
+            return 0.0
+        return self.counters["campaign_trials"] / elapsed
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "counters": dict(self.counters),
+            "spans": dict(self.spans),
+            "worker_timings": [
+                (t.label, t.worker, t.items, t.seconds)
+                for t in self.worker_timings
+            ],
+        }
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.spans.clear()
+        self.worker_timings.clear()
+
+    def format_summary(self, cache: Optional[object] = None,
+                       jobs: int = 1) -> str:
+        """One-paragraph human-readable account of the work performed."""
+        parts = [f"jobs={jobs}"]
+        sims = []
+        for name, label in (("functional_sims", "functional"),
+                            ("pipeline_sims", "pipeline"),
+                            ("campaign_trials", "campaign trials")):
+            if self.counters[name]:
+                sims.append(f"{self.counters[name]} {label}")
+        parts.append("sims: " + (", ".join(sims) if sims else "none"))
+        if self.counters["campaign_trials"] and self.trials_per_second:
+            parts.append(f"{self.trials_per_second:,.0f} trials/s")
+        # Combine this process's cache counters with the worker-side
+        # traffic merged in via ``merge_counters``.
+        hits = self.counters["cache_hits"] + getattr(cache, "hits", 0)
+        misses = self.counters["cache_misses"] + getattr(cache, "misses", 0)
+        if cache is not None or hits or misses:
+            total = hits + misses
+            rate = f" ({hits / total:.0%} hit rate)" if total else ""
+            parts.append(f"cache: {hits} hits, {misses} misses{rate}")
+        else:
+            parts.append("cache: off")
+        lines = ["[runtime: " + " | ".join(parts) + "]"]
+        for timing in self.worker_timings[-8:]:
+            lines.append(
+                f"  worker {timing.worker} ({timing.label}): "
+                f"{timing.items} items in {timing.seconds:.2f}s")
+        return "\n".join(lines)

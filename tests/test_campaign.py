@@ -26,6 +26,22 @@ class TestConfig:
         with pytest.raises(ValueError):
             CampaignConfig(trials=0)
 
+    @pytest.mark.parametrize("pet_entries", [0, -1, -512])
+    def test_pet_entries_validated(self, pet_entries):
+        with pytest.raises(ValueError):
+            CampaignConfig(pet_entries=pet_entries)
+
+    @pytest.mark.parametrize("seed", [-1, -2004])
+    def test_seed_validated(self, seed):
+        with pytest.raises(ValueError):
+            CampaignConfig(seed=seed)
+
+    def test_valid_config_accepted(self):
+        config = CampaignConfig(trials=1, seed=0, pet_entries=1)
+        assert config.trials == 1
+        assert config.seed == 0
+        assert config.pet_entries == 1
+
 
 class TestCampaign:
     def test_counts_sum_to_trials(self, campaigns):

@@ -1,0 +1,187 @@
+"""Persistent result-cache correctness.
+
+Cold vs. warm equality, key sensitivity to every ingredient, --no-cache
+bypass semantics, and corrupt-entry recovery.
+"""
+
+import pickle
+
+import pytest
+
+from repro.due.tracking import TrackingLevel
+from repro.experiments.common import (
+    ExperimentSettings,
+    clear_caches,
+    run_benchmark,
+)
+from repro.faults.campaign import CampaignConfig, run_campaign
+from repro.pipeline.config import Trigger
+from repro.runtime.cache import MISS, ResultCache, cache_key
+from repro.runtime.context import configure, reset_runtime, use_runtime
+from repro.workloads.profile import BenchmarkProfile
+
+CONFIG = CampaignConfig(trials=25, seed=6, parity=True)
+
+
+@pytest.fixture()
+def tiny_profile() -> BenchmarkProfile:
+    return BenchmarkProfile(name="cachetest", suite="int", body_items=60,
+                            w_noop=20.0, fetch_bubble_prob=0.25, seed_salt=5)
+
+
+class TestResultCacheStore:
+    def test_roundtrip_and_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("unit", 1, "two")
+        assert cache.get(key) is MISS
+        assert cache.put(key, {"a": 1})
+        assert cache.get(key) == {"a": 1}
+        assert (cache.hits, cache.misses, cache.puts) == (1, 1, 1)
+
+    def test_none_is_a_valid_value(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("none-value")
+        cache.put(key, None)
+        assert cache.get(key) is None
+
+    def test_corrupt_entry_is_a_miss_not_a_crash(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("corrupt")
+        cache.put(key, [1, 2, 3])
+        cache.path_for(key).write_bytes(b"\x00garbage\xff")
+        assert cache.get(key) is MISS
+        assert cache.errors == 1
+        # A recompute overwrites the bad entry.
+        cache.put(key, [1, 2, 3])
+        assert cache.get(key) == [1, 2, 3]
+
+
+class TestCacheKeys:
+    def test_key_is_stable(self):
+        assert cache_key("a", 1, True) == cache_key("a", 1, True)
+
+    def test_every_campaign_ingredient_changes_the_key(self):
+        base = CONFIG
+        variants = [
+            CampaignConfig(trials=26, seed=6, parity=True),
+            CampaignConfig(trials=25, seed=7, parity=True),
+            CampaignConfig(trials=25, seed=6, parity=False),
+            CampaignConfig(trials=25, seed=6, parity=True,
+                           tracking=TrackingLevel.MEM_PI),
+            CampaignConfig(trials=25, seed=6, parity=True, pet_entries=64),
+        ]
+        keys = {cache_key("campaign", variant) for variant in [base] + variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_program_bytes_change_the_key(self, small_program, tiny_profile):
+        from repro.workloads.codegen import synthesize
+
+        other = synthesize(tiny_profile, 2500, seed=1)
+        assert cache_key(small_program) != cache_key(other)
+
+    def test_unsupported_type_is_an_explicit_error(self):
+        with pytest.raises(TypeError):
+            cache_key(object())
+
+
+class TestCampaignCaching:
+    def test_cold_then_warm_equal(self, tmp_path, small_program,
+                                  small_execution, small_pipeline):
+        with use_runtime(cache_dir=tmp_path) as context:
+            cold = run_campaign(small_program, small_execution,
+                                small_pipeline, CONFIG)
+            assert context.cache.puts == 1
+            warm = run_campaign(small_program, small_execution,
+                                small_pipeline, CONFIG)
+            assert context.cache.hits == 1
+        assert warm.counts == cold.counts
+        assert warm.tracker_misses == cold.tracker_misses
+        assert warm.trials == cold.trials
+
+    def test_mutating_an_ingredient_misses(self, tmp_path, small_program,
+                                           small_execution, small_pipeline):
+        with use_runtime(cache_dir=tmp_path) as context:
+            run_campaign(small_program, small_execution, small_pipeline,
+                         CONFIG)
+            changed = CampaignConfig(trials=25, seed=6, parity=True,
+                                     tracking=TrackingLevel.PI_COMMIT)
+            run_campaign(small_program, small_execution, small_pipeline,
+                         changed)
+            assert context.cache.hits == 0
+            assert context.cache.puts == 2
+
+    def test_corrupt_campaign_entry_recomputes(self, tmp_path, small_program,
+                                               small_execution,
+                                               small_pipeline):
+        with use_runtime(cache_dir=tmp_path) as context:
+            cold = run_campaign(small_program, small_execution,
+                                small_pipeline, CONFIG)
+            entries = list(context.cache.root.glob("*/*.pkl"))
+            assert len(entries) == 1
+            entries[0].write_bytes(pickle.dumps("not a tally")[:-3])
+            warm = run_campaign(small_program, small_execution,
+                                small_pipeline, CONFIG)
+            assert context.cache.errors >= 1
+        assert warm.counts == cold.counts
+
+    def test_no_cache_bypasses_reads_and_writes(self, tmp_path, small_program,
+                                                small_execution,
+                                                small_pipeline):
+        with use_runtime(cache_dir=tmp_path, no_cache=True) as context:
+            assert context.cache is None
+            run_campaign(small_program, small_execution, small_pipeline,
+                         CONFIG)
+        assert list(tmp_path.glob("*/*.pkl")) == []
+
+    def test_configure_no_cache_flag(self, tmp_path):
+        try:
+            context = configure(jobs=2, cache_dir=tmp_path, no_cache=True)
+            assert context.cache is None
+            assert context.jobs == 2
+            context = configure(jobs=1, cache_dir=tmp_path)
+            assert context.cache is not None
+        finally:
+            reset_runtime()
+
+
+class TestExperimentCaching:
+    def test_warm_run_performs_zero_simulations(self, tmp_path, tiny_profile):
+        settings = ExperimentSettings(target_instructions=2500)
+        clear_caches()
+        try:
+            with use_runtime(cache_dir=tmp_path) as context:
+                cold = run_benchmark(tiny_profile, settings, Trigger.NONE)
+                assert context.telemetry.counters["pipeline_sims"] == 1
+                assert context.telemetry.counters["functional_sims"] == 1
+            clear_caches()  # drop the in-memory layer; keep the disk layer
+            with use_runtime(cache_dir=tmp_path) as context:
+                warm = run_benchmark(tiny_profile, settings, Trigger.NONE)
+                assert context.telemetry.counters["pipeline_sims"] == 0
+                assert context.telemetry.counters["functional_sims"] == 0
+                assert context.cache.hits == 2  # run entry + functional entry
+            assert warm.report.ipc == cold.report.ipc
+            assert warm.report.sdc_avf == cold.report.sdc_avf
+            assert warm.pipeline.cycles == cold.pipeline.cycles
+            assert warm.execution.output_signature() == \
+                cold.execution.output_signature()
+        finally:
+            clear_caches()
+
+    def test_trigger_and_size_invalidate(self, tmp_path, tiny_profile):
+        settings = ExperimentSettings(target_instructions=2500)
+        clear_caches()
+        try:
+            with use_runtime(cache_dir=tmp_path) as context:
+                run_benchmark(tiny_profile, settings, Trigger.NONE)
+                clear_caches()
+                run_benchmark(tiny_profile, settings, Trigger.L1_MISS)
+                # The timing entry misses (different squash trigger) but
+                # the functional entry (trigger-independent) hits.
+                assert context.telemetry.counters["pipeline_sims"] == 2
+                assert context.telemetry.counters["functional_sims"] == 1
+                clear_caches()
+                bigger = ExperimentSettings(target_instructions=3000)
+                run_benchmark(tiny_profile, bigger, Trigger.NONE)
+                assert context.telemetry.counters["functional_sims"] == 2
+        finally:
+            clear_caches()
