@@ -13,6 +13,12 @@ Environment knobs:
   telemetry line printed at session end).
 * ``REPRO_BENCH_NO_CACHE`` — set (to anything non-empty) to bypass the
   cache even when a directory is configured.
+* ``REPRO_BENCH_RETRIES`` — supervision retry budget per failed shard or
+  benchmark run (default 2).
+* ``REPRO_BENCH_TRIAL_TIMEOUT`` — watchdog deadline per campaign trial,
+  in seconds (default: off).
+* ``REPRO_BENCH_CHECKPOINT_DIR`` — campaign checkpoint journal directory
+  (default: off).
 
 Every exhibit benchmark writes its paper-style table to
 ``benchmarks/results/<exhibit>.txt`` so the regenerated rows are inspectable
@@ -29,6 +35,7 @@ import pytest
 from repro.experiments.common import ExperimentSettings
 from repro.runtime.cache import ResultCache
 from repro.runtime.context import RuntimeContext, get_runtime, set_runtime
+from repro.runtime.resilience import RetryPolicy
 from repro.workloads.spec2000 import ALL_PROFILES
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -45,8 +52,14 @@ def bench_runtime():
     cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR")
     no_cache = bool(os.environ.get("REPRO_BENCH_NO_CACHE"))
     cache = ResultCache(cache_dir) if cache_dir and not no_cache else None
+    timeout = os.environ.get("REPRO_BENCH_TRIAL_TIMEOUT")
+    policy = RetryPolicy(
+        retries=_env_int("REPRO_BENCH_RETRIES", 2),
+        trial_timeout=float(timeout) if timeout else None)
     previous = get_runtime()
-    context = set_runtime(RuntimeContext(jobs=jobs, cache=cache))
+    context = set_runtime(RuntimeContext(
+        jobs=jobs, cache=cache, policy=policy,
+        checkpoint_dir=os.environ.get("REPRO_BENCH_CHECKPOINT_DIR")))
     yield context
     print()
     print(context.telemetry.format_summary(cache=context.cache, jobs=jobs))

@@ -11,11 +11,20 @@ Usage::
 processes; results are bit-identical to the serial default. ``--cache-dir``
 enables the persistent result cache (``--no-cache`` bypasses it), and the
 telemetry footer reports simulations run, throughput, and hit rates.
+
+Failure semantics: ``--retries`` and ``--trial-timeout`` configure the
+supervision layer (crashed or hung shards are retried with backoff and
+deterministically-failing trials quarantined); ``--checkpoint-dir``
+journals completed campaign blocks so an interrupted run (Ctrl-C,
+SIGTERM) exits cleanly and ``--resume`` continues it bit-identically;
+``--chaos kill-worker,corrupt-cache,...`` injects deterministic faults
+into the runtime itself to prove those recovery paths.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 import time
 from typing import Callable, Dict, List, Optional
@@ -32,7 +41,9 @@ from repro.experiments import (
     table2,
 )
 from repro.experiments.common import ExperimentSettings
+from repro.runtime.chaos import CHAOS_MODES, ChaosConfig
 from repro.runtime.context import configure
+from repro.runtime.resilience import CampaignInterrupted
 from repro.workloads.spec2000 import ALL_PROFILES
 
 
@@ -133,7 +144,43 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="bypass the persistent cache entirely (no reads, no writes)")
+    parser.add_argument(
+        "--retries", type=int, default=2,
+        help="retry budget per failed shard/benchmark before quarantine "
+             "(default 2; 0 = fail fast)")
+    parser.add_argument(
+        "--trial-timeout", type=float, default=None,
+        help="watchdog deadline per campaign trial, in seconds; a shard "
+             "of N trials is declared hung after N x this (default: off)")
+    parser.add_argument(
+        "--checkpoint-dir", default=None,
+        help="journal completed campaign blocks here so interrupted runs "
+             "can be resumed (default: off)")
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted campaign from its checkpoint "
+             "journal (requires --checkpoint-dir); tallies are "
+             "bit-identical to an uninterrupted run")
+    parser.add_argument(
+        "--chaos", default=None, metavar="MODES",
+        help="inject deterministic faults into the runtime itself; comma "
+             f"list of {', '.join(CHAOS_MODES)}")
+    parser.add_argument(
+        "--chaos-seed", type=int, default=1337,
+        help="seed for the chaos injector's decisions (default 1337)")
     return parser
+
+
+def _install_sigterm_handler() -> None:
+    """Convert SIGTERM into KeyboardInterrupt so campaigns drain cleanly."""
+    def _handler(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _handler)
+    except (ValueError, OSError):
+        # Not the main thread (embedded use) or unsupported platform.
+        pass
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -141,20 +188,50 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
         return 2
-    runtime = configure(jobs=args.jobs, cache_dir=args.cache_dir,
-                        no_cache=args.no_cache)
+    if args.retries < 0:
+        print("error: --retries must be >= 0", file=sys.stderr)
+        return 2
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    chaos = None
+    if args.chaos:
+        try:
+            chaos = ChaosConfig.parse(args.chaos, seed=args.chaos_seed)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    try:
+        runtime = configure(jobs=args.jobs, cache_dir=args.cache_dir,
+                            no_cache=args.no_cache, retries=args.retries,
+                            trial_timeout=args.trial_timeout,
+                            checkpoint_dir=args.checkpoint_dir,
+                            resume=args.resume, chaos=chaos)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _install_sigterm_handler()
     runners = _exhibit_runners(args)
     if args.exhibit == "all":
         names = ["table1", "table2", "occupancy", "figure1", "figure2",
                  "figure3", "figure4"]
     else:
         names = [args.exhibit]
-    for name in names:
-        started = time.time()
-        text = runners[name]()
-        elapsed = time.time() - started
-        print(text)
-        print(f"\n[{name} regenerated in {elapsed:.1f}s]\n")
+    try:
+        for name in names:
+            started = time.time()
+            text = runners[name]()
+            elapsed = time.time() - started
+            print(text)
+            print(f"\n[{name} regenerated in {elapsed:.1f}s]\n")
+    except (KeyboardInterrupt, CampaignInterrupted) as exc:
+        detail = str(exc) or "signal received"
+        hint = ("; resume with --resume --checkpoint-dir "
+                f"{args.checkpoint_dir}" if args.checkpoint_dir else "")
+        print(f"\n[interrupted: {detail}{hint}]", file=sys.stderr)
+        print(runtime.telemetry.format_summary(cache=runtime.cache,
+                                               jobs=runtime.jobs))
+        return 130
     print(runtime.telemetry.format_summary(cache=runtime.cache,
                                            jobs=runtime.jobs))
     return 0

@@ -185,7 +185,8 @@ def run_benchmarks(
 
             runs = run_benchmarks_parallel(
                 pending, settings, trigger, effective_jobs,
-                cache_dir=runtime.cache_dir, telemetry=runtime.telemetry)
+                cache_dir=runtime.cache_dir, telemetry=runtime.telemetry,
+                policy=runtime.policy, chaos=runtime.chaos)
             for profile, run in zip(pending, runs):
                 _run_cache[_run_key(profile, settings, trigger)] = run
                 _functional_cache.setdefault(
@@ -213,7 +214,8 @@ def prefetch_functional(
 
             parts = functional_parallel(
                 pending, settings, effective_jobs,
-                cache_dir=runtime.cache_dir, telemetry=runtime.telemetry)
+                cache_dir=runtime.cache_dir, telemetry=runtime.telemetry,
+                policy=runtime.policy, chaos=runtime.chaos)
             for profile, part in zip(pending, parts):
                 _functional_cache[_functional_key(profile, settings)] = part
     return [functional_parts(profile, settings) for profile in profiles]

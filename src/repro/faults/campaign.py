@@ -6,7 +6,8 @@ import time
 from collections import Counter
 from dataclasses import dataclass, field
 from math import sqrt
-from typing import Dict, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.arch.result import ExecutionResult
 from repro.due.outcomes import FaultOutcome
@@ -16,7 +17,16 @@ from repro.faults.model import StrikeModel
 from repro.isa.program import Program
 from repro.pipeline.result import PipelineResult
 from repro.runtime.cache import MISS, cache_key
+from repro.runtime.chaos import ChaosInjector
+from repro.runtime.checkpoint import CheckpointJournal
 from repro.runtime.context import get_runtime
+from repro.runtime.resilience import (
+    CampaignInterrupted,
+    CompletenessReport,
+    RuntimeFault,
+    TrialCrash,
+    execute_campaign,
+)
 from repro.util.rng import DeterministicRng, derive_seed
 
 
@@ -45,11 +55,18 @@ class CampaignConfig:
 
 @dataclass
 class CampaignResult:
-    """Outcome histogram plus derived rate estimates."""
+    """Outcome histogram plus derived rate estimates.
+
+    ``completeness`` is populated by supervised runs; a degraded campaign
+    (quarantined trials) keeps its tallies sound — rates and confidence
+    intervals are computed over the trials that actually succeeded, so
+    intervals widen rather than results silently skewing.
+    """
 
     config: CampaignConfig
     counts: Counter = field(default_factory=Counter)
     tracker_misses: int = 0
+    completeness: Optional[CompletenessReport] = None
 
     @property
     def trials(self) -> int:
@@ -116,21 +133,38 @@ def run_trial_block(
     config: CampaignConfig,
     start: int,
     stop: int,
+    on_trial: Optional[Callable[[int], None]] = None,
 ) -> Tuple[Counter, int]:
-    """Classify trials ``[start, stop)``; returns (counts, tracker misses)."""
+    """Classify trials ``[start, stop)``; returns (counts, tracker misses).
+
+    ``on_trial`` (the chaos harness's hook) runs before each trial;
+    exceptions from the hook or the trial itself are re-raised as
+    :class:`TrialCrash` carrying the trial index, so the supervisor can
+    retry or quarantine at the right granularity. ``KeyboardInterrupt``
+    passes through untouched.
+    """
     sampler = StrikeModel(pipeline_result)
     counts: Counter = Counter()
     tracker_misses = 0
     for index in range(start, stop):
-        rng = DeterministicRng(trial_seed(config, program.name, index))
-        strike = sampler.sample(rng)
-        verdict = evaluate_strike(
-            strike, program, baseline,
-            parity=config.parity,
-            tracking=config.tracking,
-            pet_entries=config.pet_entries,
-            ecc=config.ecc,
-        )
+        try:
+            if on_trial is not None:
+                on_trial(index)
+            rng = DeterministicRng(trial_seed(config, program.name, index))
+            strike = sampler.sample(rng)
+            verdict = evaluate_strike(
+                strike, program, baseline,
+                parity=config.parity,
+                tracking=config.tracking,
+                pet_entries=config.pet_entries,
+                ecc=config.ecc,
+            )
+        except RuntimeFault:
+            raise
+        except Exception as exc:
+            raise TrialCrash(
+                f"trial {index} raised {type(exc).__name__}: {exc}",
+                trial_index=index) from exc
         counts[verdict.outcome] += 1
         if verdict.tracker_miss:
             tracker_misses += 1
@@ -143,44 +177,95 @@ def run_campaign(
     pipeline_result: PipelineResult,
     config: Optional[CampaignConfig] = None,
     jobs: Optional[int] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    resume: Optional[bool] = None,
 ) -> CampaignResult:
     """Inject ``config.trials`` uniform strikes and classify each outcome.
 
     ``jobs`` defaults to the active runtime context's worker count; with
     more than one worker the trial index space is sharded across
-    processes, producing tallies bit-identical to the serial path. When
-    the context carries a persistent cache, the full tally is stored
-    under a key covering the program bytes, the pipeline result, and the
-    campaign config — a warm re-run injects nothing.
+    supervised processes (retry/backoff, watchdog deadlines, quarantine —
+    see :mod:`repro.runtime.resilience`), producing tallies bit-identical
+    to the serial path. When the context carries a persistent cache, the
+    full tally is stored under a key covering the program bytes, the
+    pipeline result, and the campaign config — a warm re-run injects
+    nothing.
+
+    With a ``checkpoint_dir`` (argument or context), completed trial
+    blocks are journalled as they finish; a ``KeyboardInterrupt`` or
+    SIGTERM drains the pool cleanly, leaves the journal flushed, and
+    raises :class:`CampaignInterrupted` instead of tracebacking. Passing
+    ``resume=True`` merges the journal and runs only the remaining
+    trials — the final tallies are bit-identical to an uninterrupted run
+    because every trial draws from its own derived seed stream.
     """
     config = config or CampaignConfig()
     runtime = get_runtime()
     telemetry = runtime.telemetry
     effective_jobs = runtime.jobs if jobs is None else jobs
+    chaos = runtime.chaos
+    if checkpoint_dir is None:
+        checkpoint_dir = runtime.checkpoint_dir
+    if resume is None:
+        resume = runtime.resume
 
-    disk_key = None
+    campaign_id = None
+    if runtime.cache is not None or checkpoint_dir is not None:
+        campaign_id = cache_key("campaign", program, pipeline_result, config)
+
     if runtime.cache is not None:
-        disk_key = cache_key("campaign", program, pipeline_result, config)
-        cached = runtime.cache.get(disk_key)
+        cached = runtime.cache.get(campaign_id)
         if cached is not MISS:
-            counts, tracker_misses = cached
-            return CampaignResult(config=config, counts=Counter(counts),
-                                  tracker_misses=tracker_misses)
+            try:
+                counts, tracker_misses = cached
+                counts = Counter(counts)
+            except (TypeError, ValueError):
+                # Unpicklable-but-wrong-shape entry: fall through and
+                # recompute; the fresh put below overwrites it.
+                runtime.cache.errors += 1
+            else:
+                return CampaignResult(config=config, counts=counts,
+                                      tracker_misses=tracker_misses)
+
+    journal = None
+    if checkpoint_dir is not None:
+        journal = CheckpointJournal(checkpoint_dir, campaign_id,
+                                    config.trials)
+        if not resume:
+            # A fresh (non-resume) run must not inherit stale coverage.
+            journal.discard()
 
     began = time.perf_counter()
-    if effective_jobs > 1 and config.trials > 1:
-        from repro.runtime.engine import run_campaign_parallel
-
-        counts, tracker_misses = run_campaign_parallel(
+    try:
+        counts, tracker_misses, completeness = execute_campaign(
             program, baseline, pipeline_result, config, effective_jobs,
-            telemetry=telemetry)
-    else:
-        counts, tracker_misses = run_trial_block(
-            program, baseline, pipeline_result, config, 0, config.trials)
-    telemetry.increment("campaign_trials", config.trials)
+            policy=runtime.policy, telemetry=telemetry, journal=journal,
+            chaos=chaos)
+    except CampaignInterrupted:
+        # The pool is drained and the journal (if any) holds every
+        # completed block; account for the time and hand the partial
+        # campaign to the caller for a summary + resume.
+        telemetry.add_time("campaign", time.perf_counter() - began)
+        raise
+    telemetry.increment("campaign_trials", completeness.trials_succeeded)
     telemetry.add_time("campaign", time.perf_counter() - began)
+    if completeness.degraded:
+        telemetry.increment("campaigns_degraded")
 
-    if disk_key is not None:
-        runtime.cache.put(disk_key, (dict(counts), tracker_misses))
+    if runtime.cache is not None and completeness.complete:
+        # Degraded tallies are never cached: a later run with a healthier
+        # environment must be able to produce the full campaign.
+        runtime.cache.put(campaign_id, (dict(counts), tracker_misses))
+        if chaos is not None and chaos.enabled("corrupt-cache"):
+            ChaosInjector(chaos).corrupt_file(
+                runtime.cache.path_for(campaign_id),
+                "cache", campaign_id[:12])
+            telemetry.increment("chaos_corruptions")
+    if (journal is not None and chaos is not None
+            and chaos.enabled("corrupt-checkpoint")):
+        ChaosInjector(chaos).corrupt_file(journal.path, "journal",
+                                          campaign_id[:12])
+        telemetry.increment("chaos_corruptions")
     return CampaignResult(config=config, counts=counts,
-                          tracker_misses=tracker_misses)
+                          tracker_misses=tracker_misses,
+                          completeness=completeness)

@@ -151,7 +151,14 @@ class ResultCache:
         return value
 
     def put(self, key: str, value: Any) -> bool:
-        """Atomically store ``value``; returns False on (counted) failure."""
+        """Atomically store ``value``; returns False on (counted) failure.
+
+        Durable write-then-rename: the pickle is flushed and fsynced
+        before being renamed over the final path (and the directory entry
+        is fsynced after), so a crash mid-write can never leave a torn
+        entry under the real key — corruption tolerance on read is the
+        backstop, not the plan.
+        """
         path = self.path_for(key)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -161,7 +168,10 @@ class ResultCache:
                 with os.fdopen(fd, "wb") as handle:
                     pickle.dump(value, handle,
                                 protocol=pickle.HIGHEST_PROTOCOL)
+                    handle.flush()
+                    os.fsync(handle.fileno())
                 os.replace(tmp_name, path)
+                self._fsync_dir(path.parent)
             except BaseException:
                 try:
                     os.unlink(tmp_name)
@@ -173,6 +183,20 @@ class ResultCache:
             return False
         self.puts += 1
         return True
+
+    @staticmethod
+    def _fsync_dir(directory: Path) -> None:
+        """Best-effort fsync of the directory entry after a rename."""
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.pkl"))

@@ -1,0 +1,181 @@
+"""Deterministic chaos injection for the runtime itself.
+
+The paper's experiments inject faults into a simulated instruction queue;
+this module injects faults into the *campaign runtime* — killing worker
+processes, delaying or crashing trials, and garbling cache or checkpoint
+files — so the supervision layer's recovery paths can be proven rather
+than assumed (the same injection-based-validation philosophy, aimed at
+our own machinery).
+
+Every decision is a pure function of ``(chaos seed, site labels)`` via
+:func:`repro.util.rng.derive_seed`, so a chaos run is exactly
+reproducible: the same seed kills the same workers and poisons the same
+trials on every invocation, regardless of scheduling. Transient modes
+(``kill-worker``, ``raise-trial``) additionally key on the attempt number
+and only fire on the first attempt, so a retry always recovers;
+``poison-trial`` deliberately ignores the attempt so the supervisor's
+quarantine path is exercised.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Tuple, Union
+
+from repro.util.rng import DeterministicRng, derive_seed
+
+#: Every recognised failure mode, as spelled on the ``--chaos`` flag.
+CHAOS_MODES = (
+    "kill-worker",        # os._exit a worker process at shard start
+    "delay-trial",        # sleep before a trial (exercises the watchdog)
+    "raise-trial",        # transient mid-trial exception (recovers on retry)
+    "poison-trial",       # deterministic mid-trial exception (quarantined)
+    "corrupt-cache",      # garble the persistent cache entry after a write
+    "corrupt-checkpoint", # garble the checkpoint journal after a run
+    "interrupt",          # raise KeyboardInterrupt mid-campaign
+)
+
+
+class ChaosError(RuntimeError):
+    """An exception injected into a trial by the chaos harness."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Which failure modes are armed, and how aggressively."""
+
+    modes: Tuple[str, ...] = ()
+    seed: int = 1337
+    kill_prob: float = 0.3
+    delay_prob: float = 0.1
+    delay_seconds: float = 0.005
+    raise_prob: float = 0.08
+    poison_prob: float = 0.05
+    interrupt_prob: float = 0.05
+
+    def __post_init__(self) -> None:
+        unknown = [m for m in self.modes if m not in CHAOS_MODES]
+        if unknown:
+            raise ValueError(
+                f"unknown chaos mode(s) {', '.join(sorted(unknown))}; "
+                f"choose from {', '.join(CHAOS_MODES)}")
+        if self.seed < 0:
+            raise ValueError("chaos seed must be non-negative")
+        for name in ("kill_prob", "delay_prob", "raise_prob", "poison_prob",
+                     "interrupt_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.delay_seconds < 0.0:
+            raise ValueError("delay_seconds must be non-negative")
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 1337, **overrides) -> "ChaosConfig":
+        """Build a config from a ``--chaos`` comma list, e.g.
+        ``"kill-worker,corrupt-cache"``."""
+        modes = tuple(dict.fromkeys(
+            part.strip() for part in spec.split(",") if part.strip()))
+        if not modes:
+            raise ValueError("empty --chaos specification")
+        return cls(modes=modes, seed=seed, **overrides)
+
+    def enabled(self, mode: str) -> bool:
+        return mode in self.modes
+
+
+def in_worker_process() -> bool:
+    """True when running inside a multiprocessing child."""
+    return multiprocessing.parent_process() is not None
+
+
+class ChaosInjector:
+    """Applies a :class:`ChaosConfig` at well-defined injection sites."""
+
+    def __init__(self, config: ChaosConfig) -> None:
+        self.config = config
+
+    def decide(self, prob: float, *site: object) -> bool:
+        """Deterministic bernoulli draw for one injection site."""
+        if prob <= 0.0:
+            return False
+        rng = DeterministicRng(derive_seed(self.config.seed, "chaos", *site))
+        return rng.bernoulli(prob)
+
+    # -- in-worker sites -------------------------------------------------
+
+    def maybe_kill(self, site: Tuple[object, ...], attempt: int) -> None:
+        """Hard-kill the current *worker* process (never the parent).
+
+        Fires only on the first attempt, so the supervisor's pool rebuild
+        plus retry always completes the shard.
+        """
+        if (self.config.enabled("kill-worker") and attempt == 0
+                and in_worker_process()
+                and self.decide(self.config.kill_prob, "kill", *site)):
+            os._exit(13)
+
+    def maybe_delay(self, site: Tuple[object, ...]) -> None:
+        if (self.config.enabled("delay-trial")
+                and self.decide(self.config.delay_prob, "delay", *site)):
+            time.sleep(self.config.delay_seconds)
+
+    def maybe_raise(self, site: Tuple[object, ...], attempt: int) -> None:
+        """Raise a :class:`ChaosError` mid-trial.
+
+        ``poison-trial`` ignores the attempt number — the same trials fail
+        deterministically forever and must end up quarantined.
+        ``raise-trial`` is transient: first attempt only.
+        """
+        if (self.config.enabled("poison-trial")
+                and self.decide(self.config.poison_prob, "poison", *site)):
+            raise ChaosError(f"chaos: poisoned {site}")
+        if (self.config.enabled("raise-trial") and attempt == 0
+                and self.decide(self.config.raise_prob, "raise", *site)):
+            raise ChaosError(f"chaos: transient fault at {site}")
+
+    def maybe_interrupt(self, site: Tuple[object, ...]) -> None:
+        """Simulate a Ctrl-C / SIGTERM landing mid-campaign."""
+        if (self.config.enabled("interrupt")
+                and self.decide(self.config.interrupt_prob,
+                                "interrupt", *site)):
+            raise KeyboardInterrupt
+
+    # -- file-corruption sites (parent side) -----------------------------
+
+    def corrupt_file(self, path: Union[str, Path], *site: object) -> bool:
+        """Deterministically truncate or garble ``path`` in place.
+
+        Returns True when the file was damaged (False when it does not
+        exist or cannot be rewritten — chaos must not crash the run it is
+        testing).
+        """
+        path = Path(path)
+        try:
+            data = path.read_bytes()
+            rng = DeterministicRng(
+                derive_seed(self.config.seed, "chaos", "corrupt", *site))
+            if rng.bernoulli(0.5):
+                # Torn write: keep only a prefix.
+                damaged = data[: len(data) // 2]
+            else:
+                # Bit rot: flip bits across the first 64 bytes.
+                head = bytes(b ^ 0xA5 for b in data[:64])
+                damaged = head + data[64:]
+            path.write_bytes(damaged)
+        except OSError:
+            return False
+        return True
+
+    # -- helpers for tests and reports -----------------------------------
+
+    def poisoned_trials(self, trials: int) -> Tuple[int, ...]:
+        """Indices the ``poison-trial`` mode will fail on every attempt."""
+        if not self.config.enabled("poison-trial"):
+            return ()
+        return tuple(
+            index for index in range(trials)
+            if self.decide(self.config.poison_prob, "poison", "trial", index))

@@ -1,0 +1,221 @@
+"""Atomic, versioned checkpoint journal for interruptible campaigns.
+
+A campaign periodically records each completed block of trials —
+``(start, stop, outcome tallies, tracker misses)`` — into a JSON journal
+keyed by the campaign's content hash. Writes are torn-write safe: the
+payload goes to a temp file, is flushed and fsynced, then atomically
+renamed over the journal (the directory entry is fsynced too). A
+``--resume`` run loads the journal, re-validates it end to end (format
+version, campaign key, trial count, per-range tally sums, a sha256
+checksum over the canonical payload), merges the completed ranges, and
+computes only the complement — bit-identical to an uninterrupted run
+because every trial draws from its own derived seed stream.
+
+Anything suspicious raises :class:`~repro.runtime.resilience.CacheCorrupt`;
+the campaign layer responds by discarding the journal and starting over.
+A checkpoint may lose work, never correctness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.due.outcomes import FaultOutcome
+from repro.runtime.resilience import CacheCorrupt, remaining_ranges
+
+#: Bump when the journal format changes; old journals are discarded.
+JOURNAL_VERSION = 1
+
+
+@dataclass(frozen=True)
+class JournalState:
+    """Validated contents of a checkpoint journal."""
+
+    ranges: Tuple[Tuple[int, int], ...]
+    counts: Counter
+    tracker_misses: int
+
+    @property
+    def trials_covered(self) -> int:
+        return sum(stop - start for start, stop in self.ranges)
+
+
+def _canonical(payload: Mapping) -> bytes:
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode()
+
+
+def _checksum(payload: Mapping) -> str:
+    body = {key: value for key, value in payload.items()
+            if key != "checksum"}
+    return hashlib.sha256(_canonical(body)).hexdigest()
+
+
+def fsync_directory(directory: Path) -> None:
+    """Best-effort fsync of a directory entry (no-op where unsupported)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via flush + fsync + atomic rename."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-",
+                                    suffix=path.suffix)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    fsync_directory(path.parent)
+
+
+class CheckpointJournal:
+    """On-disk record of a campaign's completed trial blocks."""
+
+    def __init__(self, directory: Union[str, Path], campaign_key: str,
+                 trials: int) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.campaign_key = campaign_key
+        self.trials = trials
+        self.path = self.directory / f"campaign-{campaign_key[:16]}.json"
+        self._entries: List[Dict] = []
+
+    # -- reading ---------------------------------------------------------
+
+    def load(self) -> Optional[JournalState]:
+        """Parse and validate the journal; None when absent.
+
+        Raises :class:`CacheCorrupt` on any structural, checksum, or
+        identity mismatch — the caller discards and restarts.
+        """
+        try:
+            raw = self.path.read_text()
+        except FileNotFoundError:
+            return None
+        except (OSError, UnicodeDecodeError) as exc:
+            raise CacheCorrupt(f"unreadable checkpoint journal: {exc}")
+        try:
+            doc = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise CacheCorrupt(f"undecodable checkpoint journal: {exc}")
+        if not isinstance(doc, dict):
+            raise CacheCorrupt("checkpoint journal is not an object")
+        if doc.get("version") != JOURNAL_VERSION:
+            raise CacheCorrupt(
+                f"checkpoint journal version {doc.get('version')!r} != "
+                f"{JOURNAL_VERSION}")
+        if doc.get("checksum") != _checksum(doc):
+            raise CacheCorrupt("checkpoint journal checksum mismatch")
+        if doc.get("campaign") != self.campaign_key:
+            raise CacheCorrupt("checkpoint journal belongs to a different "
+                               "campaign")
+        if doc.get("trials") != self.trials:
+            raise CacheCorrupt(
+                f"checkpoint journal covers {doc.get('trials')!r} trials, "
+                f"campaign wants {self.trials}")
+        entries = doc.get("entries")
+        if not isinstance(entries, list):
+            raise CacheCorrupt("checkpoint journal entries missing")
+
+        counts: Counter = Counter()
+        tracker_misses = 0
+        ranges: List[Tuple[int, int]] = []
+        for entry in entries:
+            state = self._validate_entry(entry)
+            start, stop, entry_counts, misses = state
+            ranges.append((start, stop))
+            counts.update(entry_counts)
+            tracker_misses += misses
+        # Overlap / bounds validation (raises CacheCorrupt).
+        remaining_ranges(self.trials, ranges)
+        self._entries = [dict(entry) for entry in entries]
+        return JournalState(ranges=tuple(ranges), counts=counts,
+                            tracker_misses=tracker_misses)
+
+    @staticmethod
+    def _validate_entry(entry) -> Tuple[int, int, Counter, int]:
+        if not isinstance(entry, dict):
+            raise CacheCorrupt("checkpoint entry is not an object")
+        try:
+            start = int(entry["start"])
+            stop = int(entry["stop"])
+            misses = int(entry["misses"])
+            raw_counts = entry["counts"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CacheCorrupt(f"malformed checkpoint entry: {exc}")
+        if not isinstance(raw_counts, dict) or misses < 0:
+            raise CacheCorrupt("malformed checkpoint entry")
+        counts: Counter = Counter()
+        for name, value in raw_counts.items():
+            try:
+                outcome = FaultOutcome(name)
+            except ValueError:
+                raise CacheCorrupt(f"unknown outcome {name!r} in checkpoint")
+            if not isinstance(value, int) or value < 0:
+                raise CacheCorrupt(f"bad tally for {name!r} in checkpoint")
+            counts[outcome] = value
+        if sum(counts.values()) != stop - start:
+            raise CacheCorrupt(
+                f"checkpoint entry [{start}, {stop}) tallies "
+                f"{sum(counts.values())} trials")
+        return start, stop, counts, misses
+
+    # -- writing ---------------------------------------------------------
+
+    def record(self, start: int, stop: int,
+               counts: Mapping[FaultOutcome, int],
+               tracker_misses: int) -> None:
+        """Append one completed block and flush the journal atomically."""
+        self._entries.append({
+            "start": int(start),
+            "stop": int(stop),
+            "misses": int(tracker_misses),
+            "counts": {outcome.value: int(n)
+                       for outcome, n in sorted(counts.items(),
+                                                key=lambda kv: kv[0].value)},
+        })
+        self._write()
+
+    def _write(self) -> None:
+        payload = {
+            "version": JOURNAL_VERSION,
+            "campaign": self.campaign_key,
+            "trials": self.trials,
+            "entries": self._entries,
+        }
+        payload["checksum"] = _checksum(payload)
+        atomic_write(self.path, _canonical(payload))
+
+    def discard(self) -> None:
+        """Forget all recorded blocks and remove the on-disk journal."""
+        self._entries = []
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+        except OSError:
+            pass

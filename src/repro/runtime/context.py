@@ -1,10 +1,12 @@
-"""The active runtime: worker count, persistent cache, telemetry.
+"""The active runtime: workers, cache, telemetry, and failure policy.
 
 Experiments and campaigns read the process-wide context installed here;
-the default is serial with no persistent cache, which preserves the
-pre-runtime behaviour exactly. The CLI and the benchmark suite install a
-configured context from ``--jobs`` / ``--cache-dir`` / ``--no-cache``
-flags (or their ``REPRO_BENCH_*`` environment twins).
+the default is serial with no persistent cache, no checkpointing, and no
+chaos, which preserves the pre-runtime behaviour exactly. The CLI and
+the benchmark suite install a configured context from ``--jobs`` /
+``--cache-dir`` / ``--no-cache`` / ``--retries`` / ``--trial-timeout`` /
+``--checkpoint-dir`` / ``--resume`` / ``--chaos`` flags (or their
+``REPRO_BENCH_*`` environment twins).
 """
 
 from __future__ import annotations
@@ -15,6 +17,8 @@ from pathlib import Path
 from typing import Iterator, Optional, Union
 
 from repro.runtime.cache import ResultCache
+from repro.runtime.chaos import ChaosConfig
+from repro.runtime.resilience import RetryPolicy
 from repro.runtime.telemetry import Telemetry
 
 
@@ -25,10 +29,22 @@ class RuntimeContext:
     jobs: int = 1
     cache: Optional[ResultCache] = None
     telemetry: Telemetry = field(default_factory=Telemetry)
+    #: Retry/backoff/watchdog budget for supervised fan-outs.
+    policy: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Deterministic fault injector for the runtime itself (None = off).
+    chaos: Optional[ChaosConfig] = None
+    #: Campaign checkpoint journal directory (None = no checkpointing).
+    checkpoint_dir: Optional[Path] = None
+    #: Continue an interrupted campaign from its checkpoint journal.
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if self.checkpoint_dir is not None:
+            self.checkpoint_dir = Path(self.checkpoint_dir)
+        if self.resume and self.checkpoint_dir is None:
+            raise ValueError("resume requires a checkpoint_dir")
 
     @property
     def cache_dir(self) -> Optional[str]:
@@ -58,16 +74,33 @@ def configure(
     jobs: int = 1,
     cache_dir: Optional[Union[str, Path]] = None,
     no_cache: bool = False,
+    retries: Optional[int] = None,
+    trial_timeout: Optional[float] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    chaos: Optional[Union[ChaosConfig, str]] = None,
+    chaos_seed: int = 1337,
 ) -> RuntimeContext:
     """Build and install a context from CLI-style knobs.
 
     ``no_cache`` wins over ``cache_dir``: it disables both cache reads
-    and cache writes even when a directory is supplied.
+    and cache writes even when a directory is supplied. ``chaos`` may be
+    a :class:`ChaosConfig` or a ``--chaos``-style comma list.
     """
     cache = None
     if cache_dir is not None and not no_cache:
         cache = ResultCache(cache_dir)
-    return set_runtime(RuntimeContext(jobs=jobs, cache=cache))
+    policy = RetryPolicy(
+        retries=RetryPolicy.retries if retries is None else retries,
+        trial_timeout=trial_timeout,
+    )
+    if isinstance(chaos, str):
+        chaos = ChaosConfig.parse(chaos, seed=chaos_seed)
+    return set_runtime(RuntimeContext(
+        jobs=jobs, cache=cache, policy=policy, chaos=chaos,
+        checkpoint_dir=None if checkpoint_dir is None
+        else Path(checkpoint_dir),
+        resume=resume))
 
 
 @contextmanager
@@ -77,6 +110,10 @@ def use_runtime(
     cache_dir: Optional[Union[str, Path]] = None,
     no_cache: bool = False,
     telemetry: Optional[Telemetry] = None,
+    policy: Optional[RetryPolicy] = None,
+    chaos: Optional[ChaosConfig] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> Iterator[RuntimeContext]:
     """Scoped context install; restores the previous context on exit."""
     if cache is None and cache_dir is not None and not no_cache:
@@ -84,7 +121,11 @@ def use_runtime(
     if no_cache:
         cache = None
     context = RuntimeContext(jobs=jobs, cache=cache,
-                             telemetry=telemetry or Telemetry())
+                             telemetry=telemetry or Telemetry(),
+                             policy=policy or RetryPolicy(),
+                             chaos=chaos,
+                             checkpoint_dir=checkpoint_dir,
+                             resume=resume)
     previous = get_runtime()
     set_runtime(context)
     try:

@@ -1,24 +1,36 @@
-"""Process fan-out for campaigns and experiments.
+"""Process fan-out for campaigns and experiments, under supervision.
 
 Determinism contract: every parallel entry point here produces results
-bit-identical to its serial counterpart, for any worker count and any
-scheduling order. Campaign trials draw from per-trial seed streams
-(:func:`repro.util.rng.derive_seed` over the trial index), so a shard's
-tallies depend only on *which* trial indices it covers — and
-:func:`shard_trials` covers each index exactly once. Benchmark runs are
+bit-identical to its serial counterpart, for any worker count, any
+scheduling order, and any recoverable failure history. Campaign trials
+draw from per-trial seed streams (:func:`repro.util.rng.derive_seed`
+over the trial index), so a shard's tallies depend only on *which* trial
+indices it covers — retrying a crashed shard, or re-running it after a
+worker was killed, reproduces the identical tallies. Benchmark runs are
 deterministic functions of ``(profile, settings, trigger)``, so mapping
-them over processes changes wall-clock time, never values. Merges happen
-in submission order and are commutative anyway (counter sums, ordered
-result lists).
+them over processes (and retrying on failure) changes wall-clock time,
+never values. Merges happen in submission order and are commutative
+anyway (counter sums, ordered result lists).
+
+Failure handling lives in :mod:`repro.runtime.resilience`: every fan-out
+here runs under a :class:`~repro.runtime.resilience.Supervisor` that
+classifies failures, retries with backoff, enforces watchdog deadlines,
+and rebuilds the pool when workers die.
 """
 
 from __future__ import annotations
 
 import time
 from collections import Counter
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.runtime.chaos import ChaosConfig, ChaosInjector
+from repro.runtime.resilience import (
+    RetryPolicy,
+    SupervisedTask,
+    Supervisor,
+    execute_campaign,
+)
 from repro.runtime.telemetry import Telemetry
 
 
@@ -42,17 +54,6 @@ def shard_trials(trials: int, shards: int) -> List[range]:
     return blocks
 
 
-def _campaign_shard(program, baseline, pipeline_result, config,
-                    start: int, stop: int):
-    """Worker: classify trials [start, stop) and time the shard."""
-    from repro.faults.campaign import run_trial_block
-
-    began = time.perf_counter()
-    counts, tracker_misses = run_trial_block(
-        program, baseline, pipeline_result, config, start, stop)
-    return counts, tracker_misses, time.perf_counter() - began
-
-
 def run_campaign_parallel(
     program,
     baseline,
@@ -60,24 +61,19 @@ def run_campaign_parallel(
     config,
     jobs: int,
     telemetry: Optional[Telemetry] = None,
+    policy: Optional[RetryPolicy] = None,
+    journal=None,
+    chaos: Optional[ChaosConfig] = None,
 ) -> Tuple[Counter, int]:
-    """Fan campaign trials out over ``jobs`` worker processes."""
-    shards = shard_trials(config.trials, jobs)
-    counts: Counter = Counter()
-    tracker_misses = 0
-    with ProcessPoolExecutor(max_workers=len(shards)) as pool:
-        futures = [
-            pool.submit(_campaign_shard, program, baseline, pipeline_result,
-                        config, block.start, block.stop)
-            for block in shards
-        ]
-        for worker, (block, future) in enumerate(zip(shards, futures)):
-            shard_counts, shard_misses, seconds = future.result()
-            counts.update(shard_counts)
-            tracker_misses += shard_misses
-            if telemetry is not None:
-                telemetry.record_worker("campaign", worker, len(block),
-                                        seconds)
+    """Fan campaign trials out over ``jobs`` supervised worker processes.
+
+    Thin wrapper over :func:`repro.runtime.resilience.execute_campaign`
+    kept for API continuity; the full return (including the
+    :class:`CompletenessReport`) is available from ``execute_campaign``.
+    """
+    counts, tracker_misses, _ = execute_campaign(
+        program, baseline, pipeline_result, config, jobs,
+        policy=policy, telemetry=telemetry, journal=journal, chaos=chaos)
     return counts, tracker_misses
 
 
@@ -93,12 +89,15 @@ def _worker_counters(context) -> dict:
     return counters
 
 
-def _benchmark_task(profile, settings, trigger, cache_dir: Optional[str]):
+def _benchmark_task(profile, settings, trigger, cache_dir: Optional[str],
+                    chaos: Optional[ChaosConfig], attempt: int):
     """Worker: one full benchmark run under a private serial context."""
     from repro.experiments.common import run_benchmark
     from repro.runtime.cache import ResultCache
     from repro.runtime.context import RuntimeContext, set_runtime
 
+    if chaos is not None:
+        ChaosInjector(chaos).maybe_kill(("benchmark", profile.name), attempt)
     cache = ResultCache(cache_dir) if cache_dir else None
     context = set_runtime(RuntimeContext(jobs=1, cache=cache))
     began = time.perf_counter()
@@ -114,35 +113,49 @@ def run_benchmarks_parallel(
     jobs: int,
     cache_dir: Optional[str] = None,
     telemetry: Optional[Telemetry] = None,
+    policy: Optional[RetryPolicy] = None,
+    chaos: Optional[ChaosConfig] = None,
 ) -> List[Any]:
-    """Map ``run_benchmark`` over profiles across worker processes.
+    """Map ``run_benchmark`` over profiles across supervised processes.
 
     Returns :class:`BenchmarkRun` objects in ``profiles`` order. Each
     worker opens its own handle on the shared cache directory (writes are
     atomic), and its counter snapshot is merged into ``telemetry``.
+    Failed profiles are retried per ``policy``; a profile that keeps
+    failing raises its classified fault — an exhibit must never silently
+    drop a benchmark.
     """
-    results: List[Any] = []
-    with ProcessPoolExecutor(max_workers=min(jobs, len(profiles))) as pool:
-        futures = [
-            pool.submit(_benchmark_task, profile, settings, trigger,
-                        cache_dir)
-            for profile in profiles
-        ]
-        for worker, future in enumerate(futures):
-            run, counters, seconds = future.result()
-            if telemetry is not None:
-                telemetry.merge_counters(counters)
-                telemetry.record_worker("benchmark", worker, 1, seconds)
-            results.append(run)
-    return results
+    results: Dict[int, Any] = {}
+
+    def on_result(index: int, task: SupervisedTask, value) -> None:
+        run, counters, seconds = value
+        if telemetry is not None:
+            telemetry.merge_counters(counters)
+            telemetry.record_worker("benchmark", index, 1, seconds)
+        results[index] = run
+
+    tasks = [
+        SupervisedTask(fn=_benchmark_task,
+                       args=(profile, settings, trigger, cache_dir, chaos),
+                       items=1, key=profile.name, deadline=False)
+        for profile in profiles
+    ]
+    supervisor = Supervisor(policy or RetryPolicy(), label="benchmark",
+                            max_workers=min(jobs, len(profiles)),
+                            telemetry=telemetry, on_result=on_result)
+    supervisor.run_pooled(tasks)
+    return [results[index] for index in range(len(profiles))]
 
 
-def _functional_task(profile, settings, cache_dir: Optional[str]):
+def _functional_task(profile, settings, cache_dir: Optional[str],
+                     chaos: Optional[ChaosConfig], attempt: int):
     """Worker: synthesize + execute + classify one profile."""
     from repro.experiments.common import functional_parts
     from repro.runtime.cache import ResultCache
     from repro.runtime.context import RuntimeContext, set_runtime
 
+    if chaos is not None:
+        ChaosInjector(chaos).maybe_kill(("functional", profile.name), attempt)
     cache = ResultCache(cache_dir) if cache_dir else None
     context = set_runtime(RuntimeContext(jobs=1, cache=cache))
     parts = functional_parts(profile, settings)
@@ -155,17 +168,26 @@ def functional_parallel(
     jobs: int,
     cache_dir: Optional[str] = None,
     telemetry: Optional[Telemetry] = None,
+    policy: Optional[RetryPolicy] = None,
+    chaos: Optional[ChaosConfig] = None,
 ) -> List[Any]:
-    """Map ``functional_parts`` over profiles across worker processes."""
-    results: List[Any] = []
-    with ProcessPoolExecutor(max_workers=min(jobs, len(profiles))) as pool:
-        futures = [
-            pool.submit(_functional_task, profile, settings, cache_dir)
-            for profile in profiles
-        ]
-        for future in futures:
-            parts, counters = future.result()
-            if telemetry is not None:
-                telemetry.merge_counters(counters)
-            results.append(parts)
-    return results
+    """Map ``functional_parts`` over profiles across supervised processes."""
+    results: Dict[int, Any] = {}
+
+    def on_result(index: int, task: SupervisedTask, value) -> None:
+        parts, counters = value
+        if telemetry is not None:
+            telemetry.merge_counters(counters)
+        results[index] = parts
+
+    tasks = [
+        SupervisedTask(fn=_functional_task,
+                       args=(profile, settings, cache_dir, chaos),
+                       items=1, key=profile.name, deadline=False)
+        for profile in profiles
+    ]
+    supervisor = Supervisor(policy or RetryPolicy(), label="functional",
+                            max_workers=min(jobs, len(profiles)),
+                            telemetry=telemetry, on_result=on_result)
+    supervisor.run_pooled(tasks)
+    return [results[index] for index in range(len(profiles))]

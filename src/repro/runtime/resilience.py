@@ -1,0 +1,707 @@
+"""Supervision layer: failure taxonomy, retry/backoff, quarantine.
+
+PR 1's process fan-out made campaigns fast but brittle: one crashed or
+hung worker lost the whole run. This module wraps the pool with a
+supervisor that
+
+* **classifies** every failure into a structured taxonomy
+  (:class:`TrialCrash`, :class:`TrialTimeout`, :class:`WorkerLost`,
+  :class:`CacheCorrupt`, :class:`ResultInvalid`),
+* **retries** failed shards with exponential backoff plus deterministic
+  jitter, under a per-trial watchdog deadline,
+* **rebuilds** the process pool when a worker dies or hangs (innocent
+  in-flight shards are re-queued without being charged an attempt), and
+* **quarantines** deterministically-failing trials after the retry
+  budget, completing the campaign in degraded mode with an explicit
+  :class:`CompletenessReport`.
+
+Determinism is preserved throughout: a shard's tallies depend only on
+which trial indices it covers (per-trial seed streams), so re-running a
+shard after a crash — or splitting it into single trials to isolate a
+poisoned index — reproduces the fault-free result bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+from math import sqrt
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.due.outcomes import FaultOutcome
+from repro.runtime.chaos import ChaosConfig, ChaosInjector
+from repro.runtime.telemetry import Telemetry
+from repro.util.rng import DeterministicRng, derive_seed
+
+#: Seam for the backoff jitter streams (arbitrary constant, never user
+#: facing; folded with the task label/index/attempt via derive_seed).
+_BACKOFF_SEED = 0xBAC0FF
+
+#: Poll interval of the supervision loop; bounds watchdog resolution.
+_TICK_SECONDS = 0.05
+
+
+def _reset_worker_signals() -> None:
+    """Pool initializer: make workers die quietly.
+
+    Workers forked from the CLI inherit its SIGTERM->KeyboardInterrupt
+    handler, so a supervisor pool teardown (``terminate()``) would spew a
+    traceback per worker. Restore the default SIGTERM disposition and
+    ignore SIGINT — on Ctrl-C the *parent* drains the pool deliberately.
+    """
+    import signal
+
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Failure taxonomy
+# ---------------------------------------------------------------------------
+
+class RuntimeFault(Exception):
+    """Base class for classified campaign-runtime failures."""
+
+
+class TrialCrash(RuntimeFault):
+    """A trial (or the code around it) raised inside a worker."""
+
+    def __init__(self, message: str, trial_index: Optional[int] = None):
+        super().__init__(message, trial_index)
+        self.trial_index = trial_index
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+class TrialTimeout(RuntimeFault):
+    """A shard blew through its watchdog deadline (hung worker)."""
+
+
+class WorkerLost(RuntimeFault):
+    """A worker process died (killed, segfaulted, OOMed)."""
+
+
+class CacheCorrupt(RuntimeFault):
+    """A cache or checkpoint payload failed validation."""
+
+
+class ResultInvalid(RuntimeFault):
+    """A worker returned structurally invalid tallies."""
+
+
+class CampaignInterrupted(RuntimeFault):
+    """KeyboardInterrupt/SIGTERM landed mid-campaign.
+
+    The pool has been drained and any checkpoint journal holds every
+    completed block; re-running with ``resume`` continues bit-identically.
+    """
+
+    def __init__(self, message: str, trials_done: int = 0):
+        super().__init__(message, trials_done)
+        self.trials_done = trials_done
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+#: Telemetry counter ticked for each taxonomy class.
+FAULT_COUNTERS = {
+    TrialCrash: "trial_crashes",
+    TrialTimeout: "trial_timeouts",
+    WorkerLost: "workers_lost",
+    CacheCorrupt: "cache_corruptions",
+    ResultInvalid: "results_invalid",
+}
+
+
+def classify_failure(exc: BaseException) -> RuntimeFault:
+    """Map an arbitrary exception onto the structured taxonomy."""
+    if isinstance(exc, RuntimeFault):
+        return exc
+    if isinstance(exc, BrokenExecutor):
+        return WorkerLost(str(exc) or "worker process died")
+    if isinstance(exc, TimeoutError):
+        return TrialTimeout(str(exc) or "deadline exceeded")
+    return TrialCrash(f"{type(exc).__name__}: {exc}")
+
+
+# ---------------------------------------------------------------------------
+# Retry policy
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard the supervisor fights before giving up on a task."""
+
+    #: Additional attempts after the first (0 = fail fast).
+    retries: int = 2
+    #: First-retry backoff delay, in seconds; doubles per attempt.
+    backoff_base: float = 0.05
+    #: Backoff ceiling, in seconds.
+    backoff_cap: float = 2.0
+    #: Fraction of the delay randomised (deterministically) to de-correlate
+    #: retry storms: delay is uniform in [base*(1-j), base*(1+j)].
+    jitter: float = 0.5
+    #: Watchdog deadline per trial, in seconds (None = no watchdog). A
+    #: shard of N trials gets N * trial_timeout before it is declared hung.
+    trial_timeout: Optional[float] = None
+    #: Flat allowance added to every watchdog deadline. The clock starts
+    #: at submit time, so a fresh pool's fork cost and the pickling of
+    #: large task arguments must not count against a tight per-trial
+    #: budget (otherwise innocent single-trial tasks get falsely charged).
+    startup_grace: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError("retries must be non-negative")
+        if self.backoff_base < 0.0 or self.backoff_cap < 0.0:
+            raise ValueError("backoff delays must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.trial_timeout is not None and self.trial_timeout <= 0.0:
+            raise ValueError("trial_timeout must be positive")
+        if self.startup_grace < 0.0:
+            raise ValueError("startup_grace must be non-negative")
+
+    def backoff_delay(self, label: str, index: int, attempt: int) -> float:
+        """Deterministic exponential backoff with jitter for retry
+        ``attempt`` (1-based) of task ``index``."""
+        base = min(self.backoff_cap,
+                   self.backoff_base * (2.0 ** max(0, attempt - 1)))
+        if self.jitter == 0.0 or base == 0.0:
+            return base
+        rng = DeterministicRng(
+            derive_seed(_BACKOFF_SEED, "backoff", label, index, attempt))
+        return base * (1.0 - self.jitter + 2.0 * self.jitter * rng.random())
+
+    def deadline_for(self, items: int) -> Optional[float]:
+        """Seconds a task covering ``items`` trials may run, or None."""
+        if self.trial_timeout is None:
+            return None
+        return self.trial_timeout * max(1, items) + self.startup_grace
+
+
+# ---------------------------------------------------------------------------
+# Completeness accounting
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CompletenessReport:
+    """What fraction of a campaign actually ran, and at what cost."""
+
+    trials_requested: int
+    trials_succeeded: int
+    quarantined: Tuple[int, ...] = ()
+    retries: int = 0
+    resumed_trials: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        return self.trials_succeeded < self.trials_requested
+
+    @property
+    def complete(self) -> bool:
+        return not self.degraded
+
+    @property
+    def confidence_widening(self) -> float:
+        """Factor by which binomial confidence half-widths grow because
+        quarantined trials shrank the sample (sqrt(requested/succeeded))."""
+        if self.trials_succeeded <= 0:
+            return float("inf")
+        return sqrt(self.trials_requested / self.trials_succeeded)
+
+    def format(self) -> str:
+        parts = [f"{self.trials_succeeded}/{self.trials_requested} trials"]
+        if self.resumed_trials:
+            parts.append(f"{self.resumed_trials} resumed from checkpoint")
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        if self.quarantined:
+            shown = ", ".join(str(i) for i in self.quarantined[:8])
+            if len(self.quarantined) > 8:
+                shown += ", ..."
+            parts.append(
+                f"quarantined [{shown}] — degraded mode, confidence "
+                f"intervals widened x{self.confidence_widening:.3f}")
+        return "campaign completeness: " + "; ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# The supervisor
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SupervisedTask:
+    """One unit of retryable work.
+
+    ``fn`` must be picklable and accept ``(*args, attempt)`` — the
+    supervisor appends the 0-based attempt number so chaos decisions and
+    diagnostics can key on it. ``items`` scales the watchdog deadline and
+    worker-timing records; ``deadline`` opts the task into the watchdog.
+    """
+
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...]
+    items: int = 1
+    key: Any = None
+    deadline: bool = True
+
+
+class Supervisor:
+    """Runs :class:`SupervisedTask`s with retry, backoff and quarantine.
+
+    ``run_pooled`` executes on a private :class:`ProcessPoolExecutor`,
+    rebuilding it whenever a worker dies (``BrokenExecutor``) or a task
+    overruns its watchdog deadline; tasks that were merely collocated
+    with the failure are re-queued without being charged an attempt
+    (except on pool breakage, where the guilty future cannot be told
+    apart from its batch — those all take the charge, which is harmless
+    because results never depend on the attempt number).
+    ``run_serial`` executes inline with the same retry accounting.
+
+    With ``quarantine=True`` exhausted tasks are set aside and reported;
+    otherwise the final classified fault is raised.
+    """
+
+    def __init__(
+        self,
+        policy: RetryPolicy,
+        *,
+        label: str,
+        max_workers: int = 1,
+        telemetry: Optional[Telemetry] = None,
+        quarantine: bool = False,
+        validate: Optional[Callable[[Any, SupervisedTask], None]] = None,
+        on_result: Optional[Callable[[int, SupervisedTask, Any], None]] = None,
+    ) -> None:
+        self.policy = policy
+        self.label = label
+        self.max_workers = max(1, max_workers)
+        self.telemetry = telemetry
+        self.quarantine = quarantine
+        self.validate = validate
+        self.on_result = on_result
+        self.retries = 0
+
+    # -- shared accounting ----------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.telemetry is not None:
+            self.telemetry.increment(name, amount)
+
+    def _succeed(self, index: int, task: SupervisedTask, value: Any) -> None:
+        if self.validate is not None:
+            self.validate(value, task)
+        if self.on_result is not None:
+            self.on_result(index, task, value)
+
+    def _charge(self, index: int, task: SupervisedTask, fault: RuntimeFault,
+                attempts: List[int], sleeping: Dict[int, float],
+                quarantined: List[int]) -> None:
+        """Record a failed attempt; schedule a retry, quarantine, or raise."""
+        self._count(FAULT_COUNTERS.get(type(fault), "runtime_faults"))
+        attempts[index] += 1
+        if attempts[index] <= self.policy.retries:
+            self.retries += 1
+            self._count("retries")
+            delay = self.policy.backoff_delay(self.label, index,
+                                              attempts[index])
+            sleeping[index] = time.monotonic() + delay
+            return
+        if self.quarantine:
+            quarantined.append(index)
+            self._count("quarantined_tasks")
+            return
+        raise fault
+
+    # -- serial path -----------------------------------------------------
+
+    def run_serial(self, tasks: Sequence[SupervisedTask]) -> List[int]:
+        """Run tasks inline; returns quarantined task indices."""
+        quarantined: List[int] = []
+        for index, task in enumerate(tasks):
+            attempt = 0
+            while True:
+                try:
+                    value = task.fn(*task.args, attempt)
+                    self._succeed(index, task, value)
+                    break
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    fault = classify_failure(exc)
+                    self._count(FAULT_COUNTERS.get(type(fault),
+                                                   "runtime_faults"))
+                    attempt += 1
+                    if attempt <= self.policy.retries:
+                        self.retries += 1
+                        self._count("retries")
+                        time.sleep(self.policy.backoff_delay(
+                            self.label, index, attempt))
+                        continue
+                    if self.quarantine:
+                        quarantined.append(index)
+                        self._count("quarantined_tasks")
+                        break
+                    raise fault from exc
+        return quarantined
+
+    # -- pooled path -----------------------------------------------------
+
+    def _new_pool(self, tasks_left: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=min(self.max_workers, max(1, tasks_left)),
+            initializer=_reset_worker_signals)
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down hard — hung workers are terminated, not joined."""
+        processes = list(getattr(pool, "_processes", {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:
+                pass
+
+    def run_pooled(self, tasks: Sequence[SupervisedTask]) -> List[int]:
+        """Run tasks on a supervised pool; returns quarantined indices."""
+        quarantined: List[int] = []
+        attempts = [0] * len(tasks)
+        ready = deque(range(len(tasks)))
+        sleeping: Dict[int, float] = {}
+        inflight: Dict[Any, int] = {}
+        deadlines: Dict[Any, Optional[float]] = {}
+        pool = self._new_pool(len(tasks))
+        try:
+            while ready or sleeping or inflight:
+                now = time.monotonic()
+                for index in [i for i, t in sleeping.items() if t <= now]:
+                    del sleeping[index]
+                    ready.append(index)
+                while ready and len(inflight) < self.max_workers:
+                    index = ready.popleft()
+                    task = tasks[index]
+                    future = pool.submit(task.fn, *task.args, attempts[index])
+                    inflight[future] = index
+                    limit = (self.policy.deadline_for(task.items)
+                             if task.deadline else None)
+                    deadlines[future] = (None if limit is None
+                                         else time.monotonic() + limit)
+                if not inflight:
+                    if sleeping:
+                        pause = min(sleeping.values()) - time.monotonic()
+                        time.sleep(max(0.0, min(pause, _TICK_SECONDS)))
+                    continue
+                done, _ = wait(list(inflight), timeout=_TICK_SECONDS,
+                               return_when=FIRST_COMPLETED)
+                broken = False
+                for future in done:
+                    index = inflight.pop(future)
+                    deadlines.pop(future, None)
+                    task = tasks[index]
+                    try:
+                        value = future.result()
+                        self._succeed(index, task, value)
+                    except KeyboardInterrupt:
+                        raise
+                    except BrokenExecutor as exc:
+                        broken = True
+                        self._charge(index, task,
+                                     WorkerLost(
+                                         f"worker died running "
+                                         f"{self.label}[{task.key}]: {exc}"),
+                                     attempts, sleeping, quarantined)
+                    except Exception as exc:
+                        self._charge(index, task, classify_failure(exc),
+                                     attempts, sleeping, quarantined)
+                if broken:
+                    # The pool is unusable; re-queue the survivors without
+                    # charging them an attempt and start a fresh pool.
+                    ready.extend(inflight.values())
+                    inflight.clear()
+                    deadlines.clear()
+                    self._kill_pool(pool)
+                    pool = self._new_pool(len(ready) + len(sleeping))
+                    continue
+                now = time.monotonic()
+                expired = [future for future, limit in deadlines.items()
+                           if limit is not None and limit <= now
+                           and future in inflight]
+                if expired:
+                    for future in expired:
+                        index = inflight.pop(future)
+                        deadlines.pop(future, None)
+                        task = tasks[index]
+                        self._charge(
+                            index, task,
+                            TrialTimeout(
+                                f"{self.label}[{task.key}] exceeded "
+                                f"{self.policy.deadline_for(task.items):.3g}s "
+                                f"deadline"),
+                            attempts, sleeping, quarantined)
+                    # A hung worker cannot be cancelled individually: kill
+                    # the pool, re-queue innocents uncharged, rebuild.
+                    ready.extend(inflight.values())
+                    inflight.clear()
+                    deadlines.clear()
+                    self._kill_pool(pool)
+                    pool = self._new_pool(len(ready) + len(sleeping))
+        except KeyboardInterrupt:
+            self._kill_pool(pool)
+            raise
+        except BaseException:
+            self._kill_pool(pool)
+            raise
+        else:
+            pool.shutdown(wait=True)
+        return quarantined
+
+
+# ---------------------------------------------------------------------------
+# Campaign execution under supervision
+# ---------------------------------------------------------------------------
+
+def remaining_ranges(trials: int,
+                     covered: Sequence[Tuple[int, int]]
+                     ) -> List[Tuple[int, int]]:
+    """Complement of ``covered`` within ``range(trials)``.
+
+    Raises :class:`CacheCorrupt` when the covered ranges overlap or fall
+    outside the campaign — a journal claiming impossible coverage is
+    corrupt even if its checksum matches.
+    """
+    spans = sorted((int(start), int(stop)) for start, stop in covered)
+    out: List[Tuple[int, int]] = []
+    cursor = 0
+    for start, stop in spans:
+        if start < 0 or stop > trials or start >= stop:
+            raise CacheCorrupt(
+                f"checkpoint range [{start}, {stop}) outside campaign "
+                f"of {trials} trials")
+        if start < cursor:
+            raise CacheCorrupt(
+                f"overlapping checkpoint ranges at trial {start}")
+        if start > cursor:
+            out.append((cursor, start))
+        cursor = stop
+    if cursor < trials:
+        out.append((cursor, trials))
+    return out
+
+
+def plan_blocks(spans: Sequence[Tuple[int, int]], jobs: int,
+                fine: bool = False) -> List[Tuple[int, int]]:
+    """Split remaining trial ranges into contiguous work blocks.
+
+    ``fine`` (used when checkpointing) raises the block count to roughly
+    4x the worker count so an interrupt loses at most a small block.
+    Blocking never affects tallies — only scheduling and checkpoint
+    granularity.
+    """
+    total = sum(stop - start for start, stop in spans)
+    if total == 0:
+        return []
+    target = max(1, jobs)
+    if fine:
+        target = max(target, min(total, target * 4))
+    chunk = max(1, -(-total // target))
+    blocks: List[Tuple[int, int]] = []
+    for start, stop in spans:
+        cursor = start
+        while cursor < stop:
+            upper = min(stop, cursor + chunk)
+            blocks.append((cursor, upper))
+            cursor = upper
+    return blocks
+
+
+def shard_worker(program, baseline, pipeline_result, config,
+                 start: int, stop: int,
+                 chaos_config: Optional[ChaosConfig], attempt: int):
+    """Classify trials ``[start, stop)`` under optional chaos injection.
+
+    Runs in a worker process (or inline when serial). Returns
+    ``(counts dict, tracker_misses, elapsed_seconds)``.
+    """
+    from repro.faults.campaign import run_trial_block
+
+    injector = ChaosInjector(chaos_config) if chaos_config else None
+    if injector is not None:
+        injector.maybe_kill(("shard", start, stop), attempt)
+
+    on_trial = None
+    if injector is not None:
+        def on_trial(index: int) -> None:
+            injector.maybe_interrupt(("trial", index))
+            injector.maybe_delay(("trial", index))
+            injector.maybe_raise(("trial", index), attempt)
+
+    began = time.perf_counter()
+    counts, tracker_misses = run_trial_block(
+        program, baseline, pipeline_result, config, start, stop,
+        on_trial=on_trial)
+    return dict(counts), tracker_misses, time.perf_counter() - began
+
+
+def validate_shard(value: Any, task: SupervisedTask) -> None:
+    """Reject structurally invalid worker tallies (:class:`ResultInvalid`)."""
+    ok = False
+    try:
+        counts, tracker_misses, elapsed = value
+        ok = (isinstance(counts, dict)
+              and all(isinstance(outcome, FaultOutcome)
+                      and isinstance(n, int) and n >= 0
+                      for outcome, n in counts.items())
+              and sum(counts.values()) == task.items
+              and isinstance(tracker_misses, int) and tracker_misses >= 0
+              and isinstance(elapsed, float))
+    except (TypeError, ValueError):
+        ok = False
+    if not ok:
+        raise ResultInvalid(
+            f"shard {task.key} returned malformed tallies: {value!r:.120}")
+
+
+def execute_campaign(
+    program,
+    baseline,
+    pipeline_result,
+    config,
+    jobs: int,
+    *,
+    policy: Optional[RetryPolicy] = None,
+    telemetry: Optional[Telemetry] = None,
+    journal=None,
+    chaos: Optional[ChaosConfig] = None,
+) -> Tuple[Counter, int, CompletenessReport]:
+    """Run a campaign under full supervision.
+
+    Handles resume (merging a checkpoint journal's completed ranges),
+    retry/backoff, watchdog deadlines, pool rebuilds, two-phase
+    quarantine (failed blocks are split into single trials so only the
+    deterministically-failing indices are lost), and checkpointing of
+    every completed block. Returns ``(counts, tracker_misses, report)``.
+
+    A corrupt journal is discarded (counted in telemetry) and the
+    campaign restarts from zero — never trust, always re-derive.
+    """
+    policy = policy or RetryPolicy()
+    counts: Counter = Counter()
+    tracker_misses = 0
+    resumed = 0
+    covered: List[Tuple[int, int]] = []
+
+    if journal is not None:
+        try:
+            state = journal.load()
+        except CacheCorrupt:
+            if telemetry is not None:
+                telemetry.increment("checkpoint_corrupt")
+            journal.discard()
+            state = None
+        if state is not None:
+            counts.update(state.counts)
+            tracker_misses += state.tracker_misses
+            covered = list(state.ranges)
+            resumed = sum(stop - start for start, stop in covered)
+            if telemetry is not None:
+                telemetry.increment("checkpoint_resumed_trials", resumed)
+
+    try:
+        remaining = remaining_ranges(config.trials, covered)
+    except CacheCorrupt:
+        # Impossible coverage claims: start over from nothing.
+        if telemetry is not None:
+            telemetry.increment("checkpoint_corrupt")
+        if journal is not None:
+            journal.discard()
+        counts.clear()
+        tracker_misses = 0
+        resumed = 0
+        remaining = [(0, config.trials)]
+
+    blocks = plan_blocks(remaining, jobs, fine=journal is not None)
+
+    def on_result(index: int, task: SupervisedTask, value) -> None:
+        nonlocal tracker_misses
+        shard_counts, shard_misses, seconds = value
+        counts.update(shard_counts)
+        tracker_misses += shard_misses
+        start, stop = task.key
+        if journal is not None:
+            journal.record(start, stop, shard_counts, shard_misses)
+            if telemetry is not None:
+                telemetry.increment("checkpoint_writes")
+        if telemetry is not None:
+            telemetry.record_worker("campaign", index, task.items, seconds)
+
+    def run_pass(spans: Sequence[Tuple[int, int]]
+                 ) -> Tuple[List[Tuple[int, int]], int]:
+        tasks = [
+            SupervisedTask(
+                fn=shard_worker,
+                args=(program, baseline, pipeline_result, config,
+                      start, stop, chaos),
+                items=stop - start, key=(start, stop), deadline=True)
+            for start, stop in spans
+        ]
+        supervisor = Supervisor(policy, label="campaign", max_workers=jobs,
+                                telemetry=telemetry, quarantine=True,
+                                validate=validate_shard, on_result=on_result)
+        if jobs > 1 and len(tasks) > 1:
+            bad = supervisor.run_pooled(tasks)
+        else:
+            bad = supervisor.run_serial(tasks)
+        return [tasks[i].key for i in bad], supervisor.retries
+
+    quarantined: List[int] = []
+    try:
+        bad_blocks, retries = run_pass(blocks)
+        if bad_blocks:
+            # Phase 2: isolate the deterministic failures trial-by-trial.
+            singles = [(index, index + 1)
+                       for start, stop in bad_blocks
+                       for index in range(start, stop)]
+            bad_trials, more_retries = run_pass(singles)
+            retries += more_retries
+            quarantined = sorted(start for start, _ in bad_trials)
+    except KeyboardInterrupt:
+        done = sum(counts.values())
+        raise CampaignInterrupted(
+            f"campaign interrupted after {done}/{config.trials} trials"
+            + ("; checkpoint journal flushed" if journal is not None
+               else ""),
+            trials_done=done) from None
+
+    if quarantined and telemetry is not None:
+        telemetry.increment("quarantined_trials", len(quarantined))
+
+    report = CompletenessReport(
+        trials_requested=config.trials,
+        trials_succeeded=config.trials - len(quarantined),
+        quarantined=tuple(quarantined),
+        retries=retries,
+        resumed_trials=resumed,
+    )
+    return counts, tracker_misses, report

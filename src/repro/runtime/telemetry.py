@@ -95,9 +95,51 @@ class Telemetry:
             parts.append(f"cache: {hits} hits, {misses} misses{rate}")
         else:
             parts.append("cache: off")
+        resilience = self._format_resilience()
+        if resilience:
+            parts.append(resilience)
+        checkpoint = self._format_checkpoint()
+        if checkpoint:
+            parts.append(checkpoint)
         lines = ["[runtime: " + " | ".join(parts) + "]"]
         for timing in self.worker_timings[-8:]:
             lines.append(
                 f"  worker {timing.worker} ({timing.label}): "
                 f"{timing.items} items in {timing.seconds:.2f}s")
         return "\n".join(lines)
+
+    def _format_resilience(self) -> str:
+        """Retry/quarantine account, empty when the run was failure-free."""
+        c = self.counters
+        failures = [
+            (c["workers_lost"], "workers lost"),
+            (c["trial_timeouts"], "timeouts"),
+            (c["trial_crashes"], "crashes"),
+            (c["results_invalid"], "invalid results"),
+        ]
+        total_failures = sum(n for n, _ in failures)
+        if not (c["retries"] or c["quarantined_trials"] or total_failures):
+            return ""
+        text = f"resilience: {c['retries']} retries"
+        detail = ", ".join(f"{n} {label}" for n, label in failures if n)
+        if detail:
+            text += f" ({detail})"
+        if c["quarantined_trials"]:
+            text += f", {c['quarantined_trials']} trials quarantined"
+        if c["campaigns_degraded"]:
+            text += " [degraded]"
+        return text
+
+    def _format_checkpoint(self) -> str:
+        """Checkpoint/resume account, empty when no journal was touched."""
+        c = self.counters
+        if not (c["checkpoint_writes"] or c["checkpoint_resumed_trials"]
+                or c["checkpoint_corrupt"]):
+            return ""
+        text = f"checkpoint: {c['checkpoint_writes']} writes"
+        if c["checkpoint_resumed_trials"]:
+            text += f", {c['checkpoint_resumed_trials']} trials resumed"
+        if c["checkpoint_corrupt"]:
+            text += (f", {c['checkpoint_corrupt']} corrupt journals "
+                     f"discarded")
+        return text

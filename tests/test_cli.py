@@ -3,6 +3,15 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.runtime.chaos import ChaosConfig, ChaosInjector
+from repro.runtime.context import reset_runtime
+
+
+@pytest.fixture(autouse=True)
+def _restore_runtime():
+    """main() installs a global runtime context; don't leak it."""
+    yield
+    reset_runtime()
 
 
 class TestParser:
@@ -19,6 +28,29 @@ class TestParser:
         assert args.instructions == 60_000
         assert args.profiles is None
         assert args.seed == 2004
+
+    def test_resilience_defaults(self):
+        args = build_parser().parse_args(["figure1"])
+        assert args.retries == 2
+        assert args.trial_timeout is None
+        assert args.checkpoint_dir is None
+        assert not args.resume
+        assert args.chaos is None
+        assert args.chaos_seed == 1337
+
+
+class TestFlagValidation:
+    def test_negative_retries_rejected(self, capsys):
+        assert main(["figure1", "--retries", "-1"]) == 2
+        assert "--retries" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        assert main(["figure1", "--resume"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_unknown_chaos_mode_rejected(self, capsys):
+        assert main(["figure1", "--chaos", "meteor-strike"]) == 2
+        assert "unknown chaos mode" in capsys.readouterr().err
 
 
 class TestMain:
@@ -44,3 +76,41 @@ class TestMain:
         assert main(["figure1", "--instructions", "6000",
                      "--trials", "30"]) == 0
         assert "unprotected" in capsys.readouterr().out
+
+    def test_figure1_chaos_matches_clean_run(self, capsys):
+        """CLI-level golden equivalence: the exhibit text is identical
+        with and without injected faults (the [regenerated in Ns] lines
+        and telemetry footer differ, so compare the table body only)."""
+        flags = ["figure1", "--instructions", "6000", "--trials", "24"]
+
+        def exhibit_lines(out):
+            return [line for line in out.splitlines()
+                    if line and not line.startswith(("[", "  worker"))]
+
+        assert main(list(flags)) == 0
+        golden = exhibit_lines(capsys.readouterr().out)
+        assert main(flags + ["--chaos", "raise-trial,delay-trial",
+                             "--retries", "3"]) == 0
+        chaotic = capsys.readouterr().out
+        assert exhibit_lines(chaotic) == golden
+        assert "resilience:" in chaotic
+
+    def test_chaos_interrupt_exits_130(self, capsys, tmp_path):
+        # Pick a chaos seed whose injected interrupt (default prob 0.05)
+        # hits one of the campaign's 24 trials.
+        def fires(seed):
+            injector = ChaosInjector(ChaosConfig(modes=("interrupt",),
+                                                 seed=seed))
+            return any(injector.decide(0.05, "interrupt", "trial", i)
+                       for i in range(24))
+
+        seed = next(s for s in range(500) if fires(s))
+        code = main(["figure1", "--instructions", "6000", "--trials", "24",
+                     "--checkpoint-dir", str(tmp_path),
+                     "--chaos", "interrupt", "--chaos-seed", str(seed)])
+        assert code == 130
+        captured = capsys.readouterr()
+        assert "[interrupted:" in captured.err
+        assert "--resume" in captured.err
+        # The interrupted run still prints its telemetry account.
+        assert "[runtime:" in captured.out
