@@ -168,6 +168,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--chaos-seed", type=int, default=1337,
         help="seed for the chaos injector's decisions (default 1337)")
+    parser.add_argument(
+        "--no-static-filter", action="store_true",
+        help="disable the effect oracle's static pre-filter (every "
+             "strike is classified by re-execution, as in the original "
+             "slow path; tallies are identical either way)")
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="extended telemetry footer: oracle fast-path breakdown, "
+             "warmed-hierarchy reuse, and raw counters")
     return parser
 
 
@@ -206,7 +215,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                             no_cache=args.no_cache, retries=args.retries,
                             trial_timeout=args.trial_timeout,
                             checkpoint_dir=args.checkpoint_dir,
-                            resume=args.resume, chaos=chaos)
+                            resume=args.resume, chaos=chaos,
+                            static_filter=not args.no_static_filter)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -230,10 +240,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{args.checkpoint_dir}" if args.checkpoint_dir else "")
         print(f"\n[interrupted: {detail}{hint}]", file=sys.stderr)
         print(runtime.telemetry.format_summary(cache=runtime.cache,
-                                               jobs=runtime.jobs))
+                                               jobs=runtime.jobs,
+                                               verbose=args.verbose))
         return 130
     print(runtime.telemetry.format_summary(cache=runtime.cache,
-                                           jobs=runtime.jobs))
+                                           jobs=runtime.jobs,
+                                           verbose=args.verbose))
     return 0
 
 

@@ -27,13 +27,13 @@ must signal at ``REG_PI`` but stay silent at ``STORE_PI``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.arch.trace import CommittedOp
 from repro.due.anti_pi import anti_pi_suppresses
 from repro.due.pet import PetBuffer
 from repro.due.tracking import DEFAULT_PET_ENTRIES, TrackingLevel
-from repro.isa.encoding import Field, field_bits
+from repro.isa.encoding import Field, field_at_bit, field_bits
 from repro.isa.opcodes import InstrClass
 
 _CONTROL = (InstrClass.BRANCH, InstrClass.CALL, InstrClass.RET)
@@ -64,6 +64,10 @@ class PiBitTracker:
         self.trace = trace
         self.level = level
         self.pet_entries = pet_entries
+        # The decision is a pure function of (seq, opcode-bit?): the
+        # struck bit enters only through the anti-π opcode-field test, so
+        # a campaign-shared tracker answers each strike point once.
+        self._memo: Dict[Tuple[int, bool], SignalDecision] = {}
 
     def process_fault(
         self, seq: int, struck_bit: Optional[int] = None
@@ -73,6 +77,15 @@ class PiBitTracker:
             raise ValueError(f"seq {seq} outside trace")
         if struck_bit is None:
             struck_bit = _DEFAULT_STRUCK_BIT
+        key = (seq, field_at_bit(struck_bit) is Field.OPCODE)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        decision = self._process_fault(seq, struck_bit)
+        self._memo[key] = decision
+        return decision
+
+    def _process_fault(self, seq: int, struck_bit: int) -> SignalDecision:
         op = self.trace[seq]
         level = self.level
 

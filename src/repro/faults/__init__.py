@@ -12,13 +12,16 @@ detected error is signalled (true/false DUE) under a tracking level.
 """
 
 from repro.faults.campaign import CampaignConfig, CampaignResult, run_campaign
-from repro.faults.injector import StrikeSampler, evaluate_strike
+from repro.faults.injector import StrikeEvaluator, StrikeSampler, evaluate_strike
 from repro.faults.model import Strike
+from repro.faults.oracle import EffectOracle
 
 __all__ = [
     "CampaignConfig",
     "CampaignResult",
     "run_campaign",
+    "EffectOracle",
+    "StrikeEvaluator",
     "StrikeSampler",
     "evaluate_strike",
     "Strike",

@@ -12,8 +12,9 @@ from typing import Callable, Dict, Optional, Tuple, Union
 from repro.arch.result import ExecutionResult
 from repro.due.outcomes import FaultOutcome
 from repro.due.tracking import DEFAULT_PET_ENTRIES, TrackingLevel
-from repro.faults.injector import evaluate_strike
+from repro.faults.injector import StrikeEvaluator
 from repro.faults.model import StrikeModel
+from repro.faults.oracle import oracle_cache_key, persist
 from repro.isa.program import Program
 from repro.pipeline.result import PipelineResult
 from repro.runtime.cache import MISS, cache_key
@@ -134,6 +135,7 @@ def run_trial_block(
     start: int,
     stop: int,
     on_trial: Optional[Callable[[int], None]] = None,
+    evaluator: Optional[StrikeEvaluator] = None,
 ) -> Tuple[Counter, int]:
     """Classify trials ``[start, stop)``; returns (counts, tracker misses).
 
@@ -142,7 +144,21 @@ def run_trial_block(
     :class:`TrialCrash` carrying the trial index, so the supervisor can
     retry or quarantine at the right granularity. ``KeyboardInterrupt``
     passes through untouched.
+
+    ``evaluator`` lets the caller supply a campaign-scoped
+    :class:`StrikeEvaluator` (shared tracker + warm effect oracle);
+    omitted, a fresh one is built for the block. Either way the tallies
+    are identical — only the amount of re-execution differs.
     """
+    if evaluator is None:
+        evaluator = StrikeEvaluator(
+            program, baseline,
+            parity=config.parity,
+            tracking=config.tracking,
+            pet_entries=config.pet_entries,
+            ecc=config.ecc,
+            static_filter=get_runtime().static_filter,
+        )
     sampler = StrikeModel(pipeline_result)
     counts: Counter = Counter()
     tracker_misses = 0
@@ -152,13 +168,7 @@ def run_trial_block(
                 on_trial(index)
             rng = DeterministicRng(trial_seed(config, program.name, index))
             strike = sampler.sample(rng)
-            verdict = evaluate_strike(
-                strike, program, baseline,
-                parity=config.parity,
-                tracking=config.tracking,
-                pet_entries=config.pet_entries,
-                ecc=config.ecc,
-            )
+            verdict = evaluator.evaluate(strike)
         except RuntimeFault:
             raise
         except Exception as exc:
@@ -237,10 +247,11 @@ def run_campaign(
 
     began = time.perf_counter()
     try:
-        counts, tracker_misses, completeness = execute_campaign(
+        counts, tracker_misses, completeness, oracle_new = execute_campaign(
             program, baseline, pipeline_result, config, effective_jobs,
             policy=runtime.policy, telemetry=telemetry, journal=journal,
-            chaos=chaos)
+            chaos=chaos, cache_dir=runtime.cache_dir,
+            static_filter=runtime.static_filter)
     except CampaignInterrupted:
         # The pool is drained and the journal (if any) holds every
         # completed block; account for the time and hand the partial
@@ -251,6 +262,9 @@ def run_campaign(
     telemetry.add_time("campaign", time.perf_counter() - began)
     if completeness.degraded:
         telemetry.increment("campaigns_degraded")
+
+    if runtime.cache is not None and completeness.complete and oracle_new:
+        persist(runtime.cache, oracle_cache_key(program), oracle_new)
 
     if runtime.cache is not None and completeness.complete:
         # Degraded tallies are never cached: a later run with a healthier

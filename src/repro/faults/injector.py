@@ -4,6 +4,15 @@ The unprotected path re-executes the program with the struck in-flight
 instruction's encoding bit flipped and compares observable output; the
 parity-protected path additionally asks the π-bit engine whether the
 detected error is signalled under the configured tracking level.
+
+Campaigns evaluate thousands of strikes against one ``(program,
+baseline)`` pair, so the heavy per-strike machinery is hoisted into a
+campaign-scoped :class:`StrikeEvaluator`: the π-bit tracker, the
+execution limits, and the baseline output signature are built once, and
+architectural effects come from a shared :class:`~repro.faults.oracle.
+EffectOracle` (memoized, statically pre-filtered, persistable). The
+module-level :func:`evaluate_strike` remains as the one-shot convenience
+wrapper with the original signature and semantics.
 """
 
 from __future__ import annotations
@@ -17,6 +26,7 @@ from repro.due.outcomes import FaultOutcome
 from repro.due.pi_bit import PiBitTracker
 from repro.due.tracking import DEFAULT_PET_ENTRIES, TrackingLevel
 from repro.faults.model import Strike
+from repro.faults.oracle import EffectOracle
 from repro.isa import encoding
 from repro.isa.program import Program
 from repro.pipeline.iq import OccupantKind
@@ -51,7 +61,11 @@ def architectural_effect(
     bit: int,
     limits: Optional[ExecutionLimits] = None,
 ) -> str:
-    """Re-execute with instruction ``seq`` corrupted; compare behaviour."""
+    """Re-execute with instruction ``seq`` corrupted; compare behaviour.
+
+    This is the seed slow path, kept as the oracle's ground truth: every
+    call re-executes, with no memoization and no static filtering.
+    """
     original = baseline.trace[seq].instruction
     corrupted = corrupt_instruction(original, bit)
     if corrupted == original:
@@ -77,6 +91,95 @@ _EFFECT_TO_OUTCOME = {
 }
 
 
+class StrikeEvaluator:
+    """Campaign-scoped strike classifier (Figure 1 semantics).
+
+    Builds the per-campaign invariants exactly once — the π-bit tracker
+    (stateless per fault, so one instance serves every trial), the
+    execution limits, and the effect oracle — and classifies each strike
+    via :meth:`evaluate`. Tallies are bit-identical to calling the
+    one-shot :func:`evaluate_strike` per trial; only wall-clock differs.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        baseline: ExecutionResult,
+        parity: bool = False,
+        tracking: TrackingLevel = TrackingLevel.PARITY_ONLY,
+        pet_entries: int = DEFAULT_PET_ENTRIES,
+        ecc: bool = False,
+        oracle: Optional[EffectOracle] = None,
+        static_filter: bool = True,
+    ) -> None:
+        self.program = program
+        self.baseline = baseline
+        self.parity = parity
+        self.tracking = tracking
+        self.ecc = ecc
+        self.oracle = oracle if oracle is not None else EffectOracle(
+            program, baseline, static_filter=static_filter)
+        #: One tracker for the whole campaign: it is stateless per fault
+        #: (and memoizes decisions per strike point), so constructing it
+        #: per trial was pure overhead.
+        self.tracker = (PiBitTracker(baseline.trace, tracking, pet_entries)
+                        if parity else None)
+
+    def evaluate(self, strike: Strike) -> StrikeVerdict:
+        """Classify one strike per Figure 1.
+
+        Without protection the structure is unprotected: outcomes are
+        benign, SDC, trap, or hang. With ``parity`` the error is detected
+        when the entry is read, and ``tracking`` decides whether it is
+        signalled. With ``ecc`` (single-bit correction) every read strike
+        is repaired in place — Figure 1's outcome 3 ("fault corrected;
+        no error").
+        """
+        interval = strike.interval
+        if interval is None:
+            return StrikeVerdict(FaultOutcome.BENIGN_UNREAD, "not_executed")
+        if not interval.issued or strike.cycle >= interval.issue_cycle:
+            # Struck after the last read (Ex-ACE) or never read at all
+            # (squash victim, never-issued wrong path): nobody consumes
+            # the bit.
+            return StrikeVerdict(FaultOutcome.BENIGN_UNREAD, "not_executed")
+        if self.ecc:
+            # SECDED corrects the single-bit fault at read time.
+            return StrikeVerdict(FaultOutcome.CORRECTED, "none")
+        if interval.kind is not OccupantKind.COMMITTED:
+            # Wrong-path occupant read before the squash: it executes but
+            # its results never commit. With parity this is the canonical
+            # false DUE; a π bit carried to commit suppresses it.
+            if not self.parity:
+                return StrikeVerdict(FaultOutcome.BENIGN_UNACE,
+                                     "not_executed")
+            if self.tracking >= TrackingLevel.PI_COMMIT:
+                return StrikeVerdict(FaultOutcome.BENIGN_UNACE,
+                                     "not_executed")
+            return StrikeVerdict(FaultOutcome.FALSE_DUE, "not_executed")
+
+        effect = self.oracle.effect(interval.seq, strike.bit)
+        if not self.parity:
+            if effect == "none":
+                return StrikeVerdict(FaultOutcome.BENIGN_UNACE, effect)
+            return StrikeVerdict(_EFFECT_TO_OUTCOME[effect], effect)
+
+        decision = self.tracker.process_fault(interval.seq, strike.bit)
+        if decision.signaled:
+            if effect == "none":
+                return StrikeVerdict(FaultOutcome.FALSE_DUE, effect)
+            return StrikeVerdict(FaultOutcome.TRUE_DUE, effect)
+        if effect == "none":
+            return StrikeVerdict(FaultOutcome.BENIGN_UNACE, effect)
+        # The tracker let a harmful corruption through: an artifact of
+        # replaying π propagation over the uncorrupted trace (e.g. a
+        # flipped destination specifier on a dead instruction clobbers a
+        # live register the baseline never wrote). Real hardware poisons
+        # the *corrupted* destination and stays sound.
+        return StrikeVerdict(_EFFECT_TO_OUTCOME[effect], effect,
+                             tracker_miss=True)
+
+
 def evaluate_strike(
     strike: Strike,
     program: Program,
@@ -86,55 +189,16 @@ def evaluate_strike(
     pet_entries: int = DEFAULT_PET_ENTRIES,
     ecc: bool = False,
 ) -> StrikeVerdict:
-    """Classify one strike per Figure 1.
+    """One-shot strike classification (the seed-era entry point).
 
-    Without protection the structure is unprotected: outcomes are benign,
-    SDC, trap, or hang. With ``parity`` the error is detected when the
-    entry is read, and ``tracking`` decides whether it is signalled. With
-    ``ecc`` (single-bit correction) every read strike is repaired in place
-    — Figure 1's outcome 3 ("fault corrected; no error").
+    Builds a throwaway :class:`StrikeEvaluator` with the static filter
+    off, so each call costs exactly what it did before the fast path
+    existed — campaigns should hold a shared evaluator instead.
     """
-    interval = strike.interval
-    if interval is None:
-        return StrikeVerdict(FaultOutcome.BENIGN_UNREAD, "not_executed")
-    if not interval.issued or strike.cycle >= interval.issue_cycle:
-        # Struck after the last read (Ex-ACE) or never read at all
-        # (squash victim, never-issued wrong path): nobody consumes the bit.
-        return StrikeVerdict(FaultOutcome.BENIGN_UNREAD, "not_executed")
-    if ecc:
-        # SECDED corrects the single-bit fault at read time.
-        return StrikeVerdict(FaultOutcome.CORRECTED, "none")
-    if interval.kind is not OccupantKind.COMMITTED:
-        # Wrong-path occupant read before the squash: it executes but its
-        # results never commit. With parity this is the canonical false
-        # DUE; a π bit carried to commit suppresses it.
-        if not parity:
-            return StrikeVerdict(FaultOutcome.BENIGN_UNACE, "not_executed")
-        if tracking >= TrackingLevel.PI_COMMIT:
-            return StrikeVerdict(FaultOutcome.BENIGN_UNACE, "not_executed")
-        return StrikeVerdict(FaultOutcome.FALSE_DUE, "not_executed")
-
-    effect = architectural_effect(program, baseline, interval.seq, strike.bit)
-    if not parity:
-        if effect == "none":
-            return StrikeVerdict(FaultOutcome.BENIGN_UNACE, effect)
-        return StrikeVerdict(_EFFECT_TO_OUTCOME[effect], effect)
-
-    tracker = PiBitTracker(baseline.trace, tracking, pet_entries)
-    decision = tracker.process_fault(interval.seq, strike.bit)
-    if decision.signaled:
-        if effect == "none":
-            return StrikeVerdict(FaultOutcome.FALSE_DUE, effect)
-        return StrikeVerdict(FaultOutcome.TRUE_DUE, effect)
-    if effect == "none":
-        return StrikeVerdict(FaultOutcome.BENIGN_UNACE, effect)
-    # The tracker let a harmful corruption through: an artifact of
-    # replaying π propagation over the uncorrupted trace (e.g. a flipped
-    # destination specifier on a dead instruction clobbers a live
-    # register the baseline never wrote). Real hardware poisons the
-    # *corrupted* destination and stays sound.
-    return StrikeVerdict(_EFFECT_TO_OUTCOME[effect], effect,
-                         tracker_miss=True)
+    return StrikeEvaluator(
+        program, baseline, parity=parity, tracking=tracking,
+        pet_entries=pet_entries, ecc=ecc, static_filter=False,
+    ).evaluate(strike)
 
 
 # Re-export the sampler under its public name.

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
+from itertools import accumulate
 from typing import List, Optional
 
 from repro.isa.encoding import ENCODING_BITS
@@ -42,12 +43,10 @@ class StrikeModel:
                  rng: Optional[DeterministicRng] = None) -> None:
         self._rng = rng
         self._intervals = result.intervals
-        self._cumulative: List[int] = []
-        running = 0
-        for interval in self._intervals:
-            running += interval.resident_cycles
-            self._cumulative.append(running)
-        self._resident_total = running
+        self._cumulative: List[int] = list(accumulate(
+            interval.resident_cycles for interval in self._intervals))
+        self._resident_total = (self._cumulative[-1]
+                                if self._cumulative else 0)
         self._space_total = result.total_entry_cycles
         if self._space_total <= 0:
             raise ValueError("pipeline result has an empty entry-cycle space")

@@ -1,0 +1,255 @@
+"""The effect oracle: memoized + statically pre-filtered strike evaluation.
+
+``architectural_effect`` re-executes the whole program per strike, but the
+answer depends only on ``(program, seq, bit)`` — a finite space that
+Monte-Carlo campaigns and tracking-level ablations hit repeatedly. The
+:class:`EffectOracle` removes that redundancy on three levels:
+
+1. **In-process memo**: every computed ``(seq, bit) -> effect`` is kept,
+   so a campaign pays for each distinct strike point once, not once per
+   trial, and ablations over tracking levels (which share the strike
+   space) pay nothing at all.
+2. **Static pre-filter**: many flips are provably inert from the decoded
+   encoding and the baseline's dataflow alone — no re-execution needed.
+   The classification rules (each carries a soundness argument below and
+   a brute-force equivalence proof in ``tests/test_oracle.py``):
+
+   * **Non-live field** — the flipped bit lies in a field the struck
+     opcode does not architecturally interpret (``encoding.live_fields``:
+     e.g. R3 of a load, R1 of a branch, anything but the opcode of a
+     no-op). The executor never reads the field, so the corrupted run is
+     instruction-for-instruction identical.
+   * **Predicated-false op** — the baseline nullified the instruction
+     (``executed=False``) and the flip is outside the QP and OPCODE
+     fields. The qualifying predicate and opcode are unchanged, so the
+     corrupted instruction is nullified too and writes nothing. (QP
+     flips could un-nullify it; OPCODE flips could produce HALT/ILLEGAL,
+     which act before predication — both re-execute.)
+   * **Dead destination value** — the instruction's dynamic class per
+     :mod:`repro.analysis.deadcode` is first-level dead (``FDD_REG`` /
+     ``FDD_REG_RETURN``: its result was never read before being
+     overwritten or before program end), and the flip lies in a live
+     *source or immediate* field (R2/R3/IMM7). The corruption can only
+     change the value written to the same dead destination: execution is
+     identical up to ``seq``, the differing value is never read before
+     its overwrite kills the difference, and observable output excludes
+     the register file. Flips of the R1 destination specifier are
+     excluded — they retarget the write and can clobber live state — as
+     are transitively-dead classes, stores, and anything live.
+
+3. **Cross-process persistence**: the memo table rides the runtime's
+   content-addressed :class:`~repro.runtime.cache.ResultCache` under a
+   key covering the program bytes and code version, so warm campaigns
+   skip re-execution across worker processes and across runs.
+
+The static filter is semantics-preserving by construction; the
+``--no-static-filter`` escape hatch exists to *measure* it (and to
+reproduce seed-era wall-clock numbers), not because results differ.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.deadcode import DynClass, analyze_deadness
+from repro.arch.executor import ExecutionLimits, FunctionalSimulator
+from repro.arch.result import ExecutionResult, ExecutionStatus
+from repro.isa.encoding import Field, field_at_bit, live_fields
+from repro.isa.program import Program
+
+#: Architectural effects the oracle may return.
+EFFECTS = ("none", "sdc", "trap", "hang")
+
+#: Dynamic classes whose destination value is provably unread: a changed
+#: value written to the same destination cannot reach observable output.
+_DEAD_DEST_CLASSES = (DynClass.FDD_REG, DynClass.FDD_REG_RETURN)
+
+#: Fields whose flip only perturbs the *value* an instruction computes,
+#: never which architectural location it writes or whether it executes.
+_VALUE_FIELDS = (Field.R2, Field.R3, Field.IMM7)
+
+
+def default_limits(baseline: ExecutionResult) -> ExecutionLimits:
+    """The execution budget ``architectural_effect`` has always used."""
+    return ExecutionLimits(
+        max_instructions=max(10_000, 3 * len(baseline.trace)))
+
+
+class EffectOracle:
+    """Per-program memo of ``(seq, bit) -> architectural effect``.
+
+    One instance is scoped to a ``(program, baseline)`` pair — typically
+    one campaign — and answers :meth:`effect` by memo lookup, then static
+    classification, then (only when both fail) re-execution. Entries
+    loaded via :meth:`preload` (from the persistent cache) are served
+    without re-executing; entries computed locally are retrievable via
+    :meth:`new_entries` for merging back into the cache.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        baseline: ExecutionResult,
+        static_filter: bool = True,
+        limits: Optional[ExecutionLimits] = None,
+    ) -> None:
+        self.program = program
+        self.baseline = baseline
+        self.static_filter = static_filter
+        self.limits = limits or default_limits(baseline)
+        #: Computed once and shared by every re-execution comparison.
+        self._baseline_signature = baseline.output_signature()
+        self._deadness = None  # lazy: only the dead-dest rule needs it
+        self._table: Dict[Tuple[int, int], str] = {}
+        self._new: Dict[Tuple[int, int], str] = {}
+        # Counters (mirrored into runtime telemetry by the campaign):
+        self.memo_hits = 0
+        self.static_kills = 0
+        self.executions = 0
+
+    # -- persistence hooks -------------------------------------------------
+
+    def preload(self, table: Dict[Tuple[int, int], str]) -> int:
+        """Seed the memo from a persisted table; returns entries loaded."""
+        loaded = 0
+        for key, effect in table.items():
+            if key not in self._table:
+                self._table[key] = effect
+                loaded += 1
+        return loaded
+
+    def new_entries(self) -> Dict[Tuple[int, int], str]:
+        """Entries computed by *this* oracle (preloaded ones excluded)."""
+        return dict(self._new)
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "oracle_memo_hits": self.memo_hits,
+            "oracle_static_kills": self.static_kills,
+            "oracle_executions": self.executions,
+        }
+
+    # -- the oracle itself -------------------------------------------------
+
+    def effect(self, seq: int, bit: int) -> str:
+        """Architectural effect of flipping ``bit`` of instruction ``seq``."""
+        key = (seq, bit)
+        cached = self._table.get(key)
+        if cached is not None:
+            self.memo_hits += 1
+            return cached
+        if self.static_filter and self.classify_static(seq, bit) is not None:
+            self.static_kills += 1
+            effect = "none"
+        else:
+            self.executions += 1
+            effect = self._execute(seq, bit)
+        self._table[key] = effect
+        self._new[key] = effect
+        return effect
+
+    def classify_static(self, seq: int, bit: int) -> Optional[str]:
+        """Provably-inert classification, or None when execution is needed.
+
+        Returns the *reason* string when the flip is inert (the effect is
+        always ``"none"``); callers that only need the verdict can treat
+        any non-None return as "none".
+        """
+        op = self.baseline.trace[seq]
+        field = field_at_bit(bit)
+        opcode = op.instruction.opcode
+        if field not in live_fields(opcode):
+            return "non-live field"
+        if not op.executed:
+            if field is not Field.QP and field is not Field.OPCODE:
+                return "predicated-false, non-qp/opcode flip"
+            return None
+        if field in _VALUE_FIELDS and not op.is_store:
+            if self.deadness.class_of(seq) in _DEAD_DEST_CLASSES:
+                return "dead destination value"
+        return None
+
+    @property
+    def deadness(self):
+        if self._deadness is None:
+            self._deadness = analyze_deadness(self.baseline)
+        return self._deadness
+
+    def _execute(self, seq: int, bit: int) -> str:
+        """The slow path: re-execute with the corrupted instruction."""
+        # Local import: injector imports this module at definition time.
+        from repro.faults.injector import corrupt_instruction
+
+        original = self.baseline.trace[seq].instruction
+        corrupted = corrupt_instruction(original, bit)
+        if corrupted == original:
+            raise AssertionError("bit flip must change the instruction")
+        rerun = FunctionalSimulator(self.program, self.limits).run(
+            record_trace=False, override_seq=seq,
+            override_instruction=corrupted)
+        if rerun.status is ExecutionStatus.LIMIT:
+            return "hang"
+        if rerun.status in (ExecutionStatus.TRAP_ILLEGAL,
+                            ExecutionStatus.RET_UNDERFLOW):
+            return "trap"
+        if rerun.output_signature() == self._baseline_signature:
+            return "none"
+        return "sdc"
+
+
+# ---------------------------------------------------------------------------
+# Persistence through the content-addressed runtime cache
+# ---------------------------------------------------------------------------
+
+def oracle_cache_key(program: Program) -> str:
+    """Cache key of a program's persisted effect table.
+
+    The table depends only on the program (the baseline execution and
+    the default limits are deterministic functions of it) and on the
+    code version, which :func:`repro.runtime.cache.cache_key` includes.
+    """
+    from repro.runtime.cache import cache_key
+
+    return cache_key("effect-oracle", program)
+
+
+def validate_table(value: object) -> Optional[Dict[Tuple[int, int], str]]:
+    """Return the table when structurally sound, else None."""
+    if not isinstance(value, dict):
+        return None
+    for key, effect in value.items():
+        if not (isinstance(key, tuple) and len(key) == 2
+                and all(isinstance(part, int) for part in key)
+                and effect in EFFECTS):
+            return None
+    return value
+
+
+def load_persisted(cache, key: str) -> Dict[Tuple[int, int], str]:
+    """Load a persisted effect table; malformed entries count as misses."""
+    from repro.runtime.cache import MISS
+
+    if cache is None:
+        return {}
+    value = cache.get(key)
+    if value is MISS:
+        return {}
+    table = validate_table(value)
+    if table is None:
+        cache.errors += 1
+        return {}
+    return table
+
+
+def persist(cache, key: str, new_entries: Dict[Tuple[int, int], str]) -> None:
+    """Merge ``new_entries`` into the persisted table (union semantics).
+
+    Re-reads the current table first so concurrent campaigns over the
+    same program lose at most a race's worth of entries, never the whole
+    table. Write failures are swallowed by the cache layer.
+    """
+    if cache is None or not new_entries:
+        return
+    merged = load_persisted(cache, key)
+    merged.update(new_entries)
+    cache.put(key, merged)

@@ -75,6 +75,18 @@ class Cache:
             tags.pop(0)  # evict LRU
         return False
 
+    def snapshot(self) -> List[List[int]]:
+        """Copy of the replacement state (tags per set, LRU order)."""
+        return [list(tags) for tags in self._sets]
+
+    def restore(self, state: List[List[int]]) -> None:
+        """Overwrite the replacement state with a :meth:`snapshot` copy."""
+        if len(state) != len(self._sets):
+            raise ValueError(
+                f"{self.config.name}: snapshot has {len(state)} sets, "
+                f"cache has {len(self._sets)}")
+        self._sets = [list(tags) for tags in state]
+
     @property
     def accesses(self) -> int:
         return self.hits + self.misses

@@ -81,6 +81,17 @@ class CacheHierarchy:
             return AccessResult(cfg.l2_latency, True, True, False)
         return AccessResult(cfg.memory_latency, True, True, True)
 
+    def snapshot(self) -> tuple:
+        """Copy of all three levels' replacement state."""
+        return (self.l0.snapshot(), self.l1.snapshot(), self.l2.snapshot())
+
+    def restore(self, state: tuple) -> None:
+        """Overwrite all three levels from a :meth:`snapshot` copy."""
+        l0, l1, l2 = state
+        self.l0.restore(l0)
+        self.l1.restore(l1)
+        self.l2.restore(l2)
+
     def reset_stats(self) -> None:
         self.l0.reset_stats()
         self.l1.reset_stats()

@@ -42,6 +42,25 @@ from repro.pipeline.iq import OccupancyInterval, OccupantKind
 from repro.pipeline.result import PipelineResult
 from repro.util.rng import DeterministicRng, derive_seed
 
+#: Warmed-hierarchy snapshots, keyed by everything the warm state depends
+#: on. Re-simulating the same program slice (same trace, same geometry,
+#: same warm-up tail) restores the snapshot instead of replaying every
+#: memory reference through the LRU stacks again — the dominant cost of
+#: exhibit sweeps, which run 3-4 triggers over one trace. Entries carry
+#: the exact address stream so a (vanishingly unlikely) hash collision
+#: degrades to a recompute, never to wrong state. Process-local: worker
+#: processes each grow their own.
+_WARM_SNAPSHOTS: dict = {}
+_WARM_SNAPSHOT_LIMIT = 16
+#: Module-level counters (surfaced via telemetry in ``--verbose`` runs).
+warm_snapshot_hits = 0
+warm_snapshot_misses = 0
+
+
+def clear_warm_snapshots() -> None:
+    """Drop all cached warm-hierarchy snapshots (tests/benchmarks)."""
+    _WARM_SNAPSHOTS.clear()
+
 
 class _Entry:
     """A live IQ slot occupant."""
@@ -98,18 +117,40 @@ class PipelineSimulator:
           streaming (cold) lines from the distant past have been evicted,
           preserving the L1 misses the squash technique triggers on.
         """
-        l2_access = self.hierarchy.l2.access
-        addresses = [op.mem_addr for op in self.trace if op.mem_addr is not None]
-        for address in addresses:
-            l2_access(address)
+        global warm_snapshot_hits, warm_snapshot_misses
+        # Local import: the runtime context package must stay importable
+        # without the pipeline (workers tick their own telemetry, which
+        # the engine merges into the parent's).
+        from repro.runtime.context import get_runtime
+
+        telemetry = get_runtime().telemetry
+        addresses = tuple(op.mem_addr for op in self.trace
+                          if op.mem_addr is not None)
         # The tail must remain a small suffix of the trace: replaying all
         # of a short trace would park its entire footprint in the L0/L1.
         tail = min(self.config.warmup_tail_accesses, len(addresses) // 4)
+        key = (self.program.name, self.config.hierarchy, tail,
+               len(addresses), hash(addresses))
+        cached = _WARM_SNAPSHOTS.get(key)
+        if cached is not None and cached[0] == addresses:
+            warm_snapshot_hits += 1
+            telemetry.increment("warm_hierarchy_hits")
+            self.hierarchy.restore(cached[1])
+            self.hierarchy.reset_stats()
+            return
+        warm_snapshot_misses += 1
+        telemetry.increment("warm_hierarchy_misses")
+        l2_access = self.hierarchy.l2.access
+        for address in addresses:
+            l2_access(address)
         access = self.hierarchy.access
         if tail:
             for address in addresses[-tail:]:
                 access(address)
         self.hierarchy.reset_stats()
+        if len(_WARM_SNAPSHOTS) >= _WARM_SNAPSHOT_LIMIT:
+            _WARM_SNAPSHOTS.pop(next(iter(_WARM_SNAPSHOTS)))
+        _WARM_SNAPSHOTS[key] = (addresses, self.hierarchy.snapshot())
 
     def run(self) -> PipelineResult:
         cfg = self.config
@@ -122,7 +163,13 @@ class PipelineSimulator:
         trigger = cfg.squash.trigger
         squash_action = cfg.squash.action
 
+        # The IQ: a grow-only list with a head index. Commit advances
+        # ``head`` instead of ``pop(0)``-ing (which is O(queue length)
+        # per commit, O(n^2) per run); the dead prefix is compacted at the
+        # rare queue-rebuild points (redirects, squashes) and whenever it
+        # outgrows the live suffix. Entries at index < head are gone.
         queue: List[_Entry] = []
+        head = 0
         intervals: List[OccupancyInterval] = []
         gpr_ready = {}
         pred_ready = {}
@@ -157,12 +204,13 @@ class PipelineSimulator:
             # ---- branch-resolution redirect --------------------------------
             if pending_redirect is not None and pending_redirect[0] <= cycle:
                 kept = []
-                for entry in queue:
+                for entry in queue[head:] if head else queue:
                     if entry.wrong_path:
                         close(entry, OccupantKind.WRONG_PATH, cycle)
                     else:
                         kept.append(entry)
                 queue = kept
+                head = 0
                 wrong_path_mode = False
                 pending_redirect = None
                 mispredicted_entry = None
@@ -170,9 +218,16 @@ class PipelineSimulator:
                 stats["redirects"] += 1
 
             # ---- exposure-reduction trigger fires --------------------------
-            fired = [s for s in pending_squashes if s[0] <= cycle]
+            # Guard: with no trigger configured (or between misses) this
+            # runs every cycle, so don't rebuild two lists to learn that
+            # nothing fired.
+            fired = ([s for s in pending_squashes if s[0] <= cycle]
+                     if pending_squashes else None)
             if fired:
                 pending_squashes = [s for s in pending_squashes if s[0] > cycle]
+                if head:
+                    del queue[:head]
+                    head = 0
                 miss_return = max(s[1] for s in fired)
                 if squash_action is SquashAction.THROTTLE:
                     throttle_until = max(throttle_until, miss_return)
@@ -228,13 +283,17 @@ class PipelineSimulator:
 
             # ---- commit (deallocate in order) ------------------------------
             committed_now = 0
-            while (queue and committed_now < cfg.commit_width
-                   and not queue[0].wrong_path
-                   and queue[0].issue_cycle is not None
-                   and queue[0].issue_cycle + cfg.commit_latency <= cycle):
-                entry = queue.pop(0)
-                close(entry, OccupantKind.COMMITTED, cycle)
+            queue_len = len(queue)
+            while (head < queue_len and committed_now < cfg.commit_width
+                   and not queue[head].wrong_path
+                   and queue[head].issue_cycle is not None
+                   and queue[head].issue_cycle + cfg.commit_latency <= cycle):
+                close(queue[head], OccupantKind.COMMITTED, cycle)
+                head += 1
                 committed_now += 1
+            if head >= 512 and head * 2 >= queue_len:
+                del queue[:head]
+                head = 0
 
             # ---- issue ------------------------------------------------------
             # IN_ORDER: a not-ready instruction blocks everything younger.
@@ -246,8 +305,8 @@ class PipelineSimulator:
             issued_now = 0
             in_order = cfg.issue_policy is IssuePolicy.IN_ORDER
             scan_limit = len(queue) if in_order else \
-                min(len(queue), cfg.scheduler_window)
-            position = 0
+                min(len(queue), head + cfg.scheduler_window)
+            position = head
             while issued_now < cfg.issue_width and position < scan_limit:
                 entry = queue[position]
                 position += 1
@@ -347,7 +406,7 @@ class PipelineSimulator:
                 else:
                     fetched = 0
                     while fetched < cfg.fetch_width \
-                            and len(queue) < cfg.iq_entries:
+                            and len(queue) - head < cfg.iq_entries:
                         if wrong_path_mode:
                             instruction = program.fetch(wrong_pc)
                             wrong_pc += 1
@@ -381,7 +440,8 @@ class PipelineSimulator:
                 stats["throttle_cycles"] += 1
 
             # ---- termination ------------------------------------------------
-            if trace_ptr >= len(trace) and not queue and not wrong_path_mode:
+            if trace_ptr >= len(trace) and head >= len(queue) \
+                    and not wrong_path_mode:
                 break
             cycle += 1
         else:

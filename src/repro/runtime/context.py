@@ -37,6 +37,10 @@ class RuntimeContext:
     checkpoint_dir: Optional[Path] = None
     #: Continue an interrupted campaign from its checkpoint journal.
     resume: bool = False
+    #: Let the effect oracle classify provably-inert strikes without
+    #: re-execution (``--no-static-filter`` turns this off to measure the
+    #: filter / reproduce seed-era wall-clock; tallies are identical).
+    static_filter: bool = True
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -80,6 +84,7 @@ def configure(
     resume: bool = False,
     chaos: Optional[Union[ChaosConfig, str]] = None,
     chaos_seed: int = 1337,
+    static_filter: bool = True,
 ) -> RuntimeContext:
     """Build and install a context from CLI-style knobs.
 
@@ -100,7 +105,7 @@ def configure(
         jobs=jobs, cache=cache, policy=policy, chaos=chaos,
         checkpoint_dir=None if checkpoint_dir is None
         else Path(checkpoint_dir),
-        resume=resume))
+        resume=resume, static_filter=static_filter))
 
 
 @contextmanager
@@ -114,6 +119,7 @@ def use_runtime(
     chaos: Optional[ChaosConfig] = None,
     checkpoint_dir: Optional[Union[str, Path]] = None,
     resume: bool = False,
+    static_filter: bool = True,
 ) -> Iterator[RuntimeContext]:
     """Scoped context install; restores the previous context on exit."""
     if cache is None and cache_dir is not None and not no_cache:
@@ -125,7 +131,8 @@ def use_runtime(
                              policy=policy or RetryPolicy(),
                              chaos=chaos,
                              checkpoint_dir=checkpoint_dir,
-                             resume=resume)
+                             resume=resume,
+                             static_filter=static_filter)
     previous = get_runtime()
     set_runtime(context)
     try:

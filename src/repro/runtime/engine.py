@@ -71,7 +71,7 @@ def run_campaign_parallel(
     kept for API continuity; the full return (including the
     :class:`CompletenessReport`) is available from ``execute_campaign``.
     """
-    counts, tracker_misses, _ = execute_campaign(
+    counts, tracker_misses, _, _ = execute_campaign(
         program, baseline, pipeline_result, config, jobs,
         policy=policy, telemetry=telemetry, journal=journal, chaos=chaos)
     return counts, tracker_misses

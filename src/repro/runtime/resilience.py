@@ -538,13 +538,22 @@ def plan_blocks(spans: Sequence[Tuple[int, int]], jobs: int,
 
 def shard_worker(program, baseline, pipeline_result, config,
                  start: int, stop: int,
-                 chaos_config: Optional[ChaosConfig], attempt: int):
+                 chaos_config: Optional[ChaosConfig],
+                 cache_dir: Optional[str], static_filter: bool,
+                 attempt: int):
     """Classify trials ``[start, stop)`` under optional chaos injection.
 
-    Runs in a worker process (or inline when serial). Returns
-    ``(counts dict, tracker_misses, elapsed_seconds)``.
+    Runs in a worker process (or inline when serial). Builds a
+    campaign-scoped :class:`~repro.faults.injector.StrikeEvaluator` —
+    preloading its effect oracle from the persistent cache when
+    ``cache_dir`` is given — and returns ``(counts dict, tracker_misses,
+    elapsed_seconds, oracle new-entry dict, oracle counter dict)``; the
+    parent merges the last two so no re-execution is ever repeated in a
+    later run.
     """
     from repro.faults.campaign import run_trial_block
+    from repro.faults.injector import StrikeEvaluator
+    from repro.faults.oracle import load_persisted, oracle_cache_key
 
     injector = ChaosInjector(chaos_config) if chaos_config else None
     if injector is not None:
@@ -557,25 +566,43 @@ def shard_worker(program, baseline, pipeline_result, config,
             injector.maybe_delay(("trial", index))
             injector.maybe_raise(("trial", index), attempt)
 
+    evaluator = StrikeEvaluator(
+        program, baseline,
+        parity=config.parity, tracking=config.tracking,
+        pet_entries=config.pet_entries, ecc=config.ecc,
+        static_filter=static_filter)
+    if cache_dir is not None:
+        from repro.runtime.cache import ResultCache
+
+        evaluator.oracle.preload(load_persisted(
+            ResultCache(cache_dir), oracle_cache_key(program)))
+
     began = time.perf_counter()
     counts, tracker_misses = run_trial_block(
         program, baseline, pipeline_result, config, start, stop,
-        on_trial=on_trial)
-    return dict(counts), tracker_misses, time.perf_counter() - began
+        on_trial=on_trial, evaluator=evaluator)
+    return (dict(counts), tracker_misses, time.perf_counter() - began,
+            evaluator.oracle.new_entries(), evaluator.oracle.counters())
 
 
 def validate_shard(value: Any, task: SupervisedTask) -> None:
     """Reject structurally invalid worker tallies (:class:`ResultInvalid`)."""
+    from repro.faults.oracle import validate_table
+
     ok = False
     try:
-        counts, tracker_misses, elapsed = value
+        counts, tracker_misses, elapsed, oracle_new, oracle_counters = value
         ok = (isinstance(counts, dict)
               and all(isinstance(outcome, FaultOutcome)
                       and isinstance(n, int) and n >= 0
                       for outcome, n in counts.items())
               and sum(counts.values()) == task.items
               and isinstance(tracker_misses, int) and tracker_misses >= 0
-              and isinstance(elapsed, float))
+              and isinstance(elapsed, float)
+              and validate_table(oracle_new) is not None
+              and isinstance(oracle_counters, dict)
+              and all(isinstance(k, str) and isinstance(n, int)
+                      for k, n in oracle_counters.items()))
     except (TypeError, ValueError):
         ok = False
     if not ok:
@@ -594,14 +621,18 @@ def execute_campaign(
     telemetry: Optional[Telemetry] = None,
     journal=None,
     chaos: Optional[ChaosConfig] = None,
-) -> Tuple[Counter, int, CompletenessReport]:
+    cache_dir: Optional[str] = None,
+    static_filter: bool = True,
+) -> Tuple[Counter, int, CompletenessReport, Dict[Tuple[int, int], str]]:
     """Run a campaign under full supervision.
 
     Handles resume (merging a checkpoint journal's completed ranges),
     retry/backoff, watchdog deadlines, pool rebuilds, two-phase
     quarantine (failed blocks are split into single trials so only the
     deterministically-failing indices are lost), and checkpointing of
-    every completed block. Returns ``(counts, tracker_misses, report)``.
+    every completed block. Returns ``(counts, tracker_misses, report,
+    oracle_new)`` where ``oracle_new`` is the union of effect-oracle
+    entries the shards computed (for the caller to persist).
 
     A corrupt journal is discarded (counted in telemetry) and the
     campaign restarts from zero — never trust, always re-derive.
@@ -609,6 +640,7 @@ def execute_campaign(
     policy = policy or RetryPolicy()
     counts: Counter = Counter()
     tracker_misses = 0
+    oracle_new: Dict[Tuple[int, int], str] = {}
     resumed = 0
     covered: List[Tuple[int, int]] = []
 
@@ -645,15 +677,17 @@ def execute_campaign(
 
     def on_result(index: int, task: SupervisedTask, value) -> None:
         nonlocal tracker_misses
-        shard_counts, shard_misses, seconds = value
+        shard_counts, shard_misses, seconds, shard_oracle, oracle_stats = value
         counts.update(shard_counts)
         tracker_misses += shard_misses
+        oracle_new.update(shard_oracle)
         start, stop = task.key
         if journal is not None:
             journal.record(start, stop, shard_counts, shard_misses)
             if telemetry is not None:
                 telemetry.increment("checkpoint_writes")
         if telemetry is not None:
+            telemetry.merge_counters(oracle_stats)
             telemetry.record_worker("campaign", index, task.items, seconds)
 
     def run_pass(spans: Sequence[Tuple[int, int]]
@@ -662,7 +696,7 @@ def execute_campaign(
             SupervisedTask(
                 fn=shard_worker,
                 args=(program, baseline, pipeline_result, config,
-                      start, stop, chaos),
+                      start, stop, chaos, cache_dir, static_filter),
                 items=stop - start, key=(start, stop), deadline=True)
             for start, stop in spans
         ]
@@ -704,4 +738,4 @@ def execute_campaign(
         retries=retries,
         resumed_trials=resumed,
     )
-    return counts, tracker_misses, report
+    return counts, tracker_misses, report, oracle_new

@@ -73,8 +73,14 @@ class Telemetry:
         self.worker_timings.clear()
 
     def format_summary(self, cache: Optional[object] = None,
-                       jobs: int = 1) -> str:
-        """One-paragraph human-readable account of the work performed."""
+                       jobs: int = 1, verbose: bool = False) -> str:
+        """One-paragraph human-readable account of the work performed.
+
+        ``verbose`` appends the fast-path breakdown (effect-oracle memo
+        hits / static kills / re-executions and warmed-hierarchy reuse)
+        even when it would normally be folded away, plus the raw counter
+        dump.
+        """
         parts = [f"jobs={jobs}"]
         sims = []
         for name, label in (("functional_sims", "functional"),
@@ -95,6 +101,9 @@ class Telemetry:
             parts.append(f"cache: {hits} hits, {misses} misses{rate}")
         else:
             parts.append("cache: off")
+        oracle = self._format_oracle()
+        if oracle:
+            parts.append(oracle)
         resilience = self._format_resilience()
         if resilience:
             parts.append(resilience)
@@ -106,7 +115,31 @@ class Telemetry:
             lines.append(
                 f"  worker {timing.worker} ({timing.label}): "
                 f"{timing.items} items in {timing.seconds:.2f}s")
+        if verbose:
+            warm = (self.counters["warm_hierarchy_hits"]
+                    + self.counters["warm_hierarchy_misses"])
+            if warm:
+                lines.append(
+                    f"  warm hierarchy: "
+                    f"{self.counters['warm_hierarchy_hits']} snapshot "
+                    f"restores, {self.counters['warm_hierarchy_misses']} "
+                    f"full warm-ups")
+            for name in sorted(self.counters):
+                lines.append(f"  {name}: {self.counters[name]}")
         return "\n".join(lines)
+
+    def _format_oracle(self) -> str:
+        """Strike fast-path account, empty when no oracle was consulted."""
+        c = self.counters
+        memo = c["oracle_memo_hits"]
+        static = c["oracle_static_kills"]
+        executed = c["oracle_executions"]
+        total = memo + static + executed
+        if not total:
+            return ""
+        fast = memo + static
+        return (f"oracle: {memo} memo hits, {static} static kills, "
+                f"{executed} re-executions ({fast / total:.0%} fast path)")
 
     def _format_resilience(self) -> str:
         """Retry/quarantine account, empty when the run was failure-free."""

@@ -272,7 +272,9 @@ class TestCacheCorruption:
                          cache_dir=tmp_path) as cold:
             run_campaign(small_program, small_execution, small_pipeline,
                          CONFIG)
-        assert cold.cache.puts == 1
+        # Two puts: the effect-oracle table and the campaign tally (only
+        # the tally is the chaos corruption target).
+        assert cold.cache.puts == 2
         assert first.counters["chaos_corruptions"] == 1
 
         # Warm run sees the garbled entry, treats it as a miss, recomputes
