@@ -65,6 +65,19 @@ _BY_CLASS = {
     DynClass.TDD_MEM: _dead(DynClass.TDD_MEM),
 }
 
+# -- interval-record path ----------------------------------------------------
+# The closed-form breakdown over an IntervalTimeline classifies occupants
+# by small integer codes instead of per-object dispatch: one code per
+# DynClass (in declaration order) plus a trailing code for wrong-path
+# occupants. ``WEIGHTS_BY_CODE[code]`` is exactly what
+# :func:`bit_weights_for` would return for the same occupant.
+
+CLASS_ORDER = tuple(DynClass)
+CODE_OF = {cls: code for code, cls in enumerate(CLASS_ORDER)}
+WRONG_PATH_CODE = len(CLASS_ORDER)
+WEIGHTS_BY_CODE = tuple(_BY_CLASS[cls] for cls in CLASS_ORDER) + (
+    _WRONG_PATH,)
+
 
 def bit_weights_for(
     interval: OccupancyInterval,

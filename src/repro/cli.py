@@ -9,7 +9,10 @@ Usage::
 
 ``--jobs N`` fans benchmark runs and campaign trials out over N worker
 processes; results are bit-identical to the serial default. ``--cache-dir``
-enables the persistent result cache (``--no-cache`` bypasses it), and the
+enables the persistent result cache — with the interval timing kernel
+(default; ``--no-interval-kernel`` selects the legacy per-cycle loop) the
+cache doubles as a cross-exhibit timeline store, so a warmed cache re-runs
+the whole exhibit suite without a single pipeline simulation. The
 telemetry footer reports simulations run, throughput, and hit rates.
 
 Failure semantics: ``--retries`` and ``--trial-timeout`` configure the
@@ -169,6 +172,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--chaos-seed", type=int, default=1337,
         help="seed for the chaos injector's decisions (default 1337)")
     parser.add_argument(
+        "--no-interval-kernel", action="store_true",
+        help="run the legacy per-cycle timing loop instead of the "
+             "interval-compressed kernel (slower; every report is "
+             "bit-identical either way)")
+    parser.add_argument(
         "--no-static-filter", action="store_true",
         help="disable the effect oracle's static pre-filter (every "
              "strike is classified by re-execution, as in the original "
@@ -216,7 +224,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                             trial_timeout=args.trial_timeout,
                             checkpoint_dir=args.checkpoint_dir,
                             resume=args.resume, chaos=chaos,
-                            static_filter=not args.no_static_filter)
+                            static_filter=not args.no_static_filter,
+                            interval_kernel=not args.no_interval_kernel)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -23,7 +23,6 @@ from typing import Dict, List, Optional, Sequence
 from repro.avf.occupancy import AccountingPolicy, compute_breakdown
 from repro.experiments.common import (
     ExperimentSettings,
-    functional_parts,
     prefetch_functional,
     run_benchmark,
 )
@@ -33,7 +32,6 @@ from repro.pipeline.config import (
     SquashConfig,
     Trigger,
 )
-from repro.pipeline.core import PipelineSimulator
 from repro.util.tables import format_table
 from repro.workloads.profile import BenchmarkProfile
 from repro.workloads.spec2000 import ALL_PROFILES
@@ -60,16 +58,21 @@ class AblationResult:
 
 
 def _mean_over(profiles, settings, machine_fn, policy):
-    """Average IPC/SDC/DUE over profiles for a machine-config factory."""
+    """Average IPC/SDC/DUE over profiles for a machine-config factory.
+
+    Timing runs go through :func:`run_benchmark`, so configurations an
+    ablation shares with the main exhibits (or with another ablation —
+    both accounting policies integrate the *same* run) are simulated
+    once and land in the cross-exhibit timeline store; only the cheap
+    breakdown integration is redone per accounting policy.
+    """
     ipc = sdc = due = 0.0
     prefetch_functional(profiles, settings)
     for profile in profiles:
-        program, execution, deadness = functional_parts(profile, settings)
-        machine = machine_fn(profile)
-        pipeline = PipelineSimulator(program, execution.trace, machine,
-                                     seed=settings.seed).run()
-        breakdown = compute_breakdown(pipeline, deadness, policy)
-        ipc += pipeline.ipc
+        run = run_benchmark(profile, settings,
+                            machine=machine_fn(profile))
+        breakdown = compute_breakdown(run.pipeline, run.deadness, policy)
+        ipc += run.pipeline.ipc
         sdc += breakdown.sdc_avf
         due += breakdown.due_avf
     n = len(profiles)

@@ -76,10 +76,13 @@ def _functional_key(profile: BenchmarkProfile,
 
 
 def _run_key(profile: BenchmarkProfile, settings: ExperimentSettings,
-             trigger: Trigger) -> Tuple:
+             machine: MachineConfig) -> Tuple:
+    # The *full* machine config is part of the key. (An earlier version
+    # keyed only on the trigger/squash knobs, silently aliasing runs that
+    # differed in any other machine parameter — queue size, issue policy,
+    # fetch_bubble_prob — the moment a caller varied them.)
     return (profile.name, settings.target_instructions, settings.seed,
-            trigger, settings.machine.squash.action,
-            settings.machine.squash.resume_at_miss_return)
+            machine)
 
 
 def functional_parts(
@@ -121,19 +124,30 @@ def run_benchmark(
     profile: BenchmarkProfile,
     settings: Optional[ExperimentSettings] = None,
     trigger: Trigger = Trigger.NONE,
+    machine: Optional[MachineConfig] = None,
 ) -> BenchmarkRun:
-    """Full flow for one benchmark at one squash trigger (memoised).
+    """Full flow for one benchmark at one machine configuration (memoised).
 
-    The persistent-cache entry for the timing half stores only
-    ``(pipeline, report)``; the (much larger) functional parts are cached
-    once per (profile, size, seed) and shared by every squash trigger.
+    ``machine`` defaults to ``settings.machine_for(profile, trigger)``;
+    passing it explicitly lets the ablations (queue sizes, issue policies,
+    throttling, ...) share this memo and the persistent timeline store
+    with the main exhibits instead of re-simulating. When ``machine`` is
+    given, ``trigger`` is ignored.
+
+    The persistent-cache entry for the timing half stores
+    ``(pipeline, report)`` — with the interval kernel, the pipeline
+    result carries its compact interval timeline, so a populated store
+    lets the whole exhibit suite re-run without a single timing
+    simulation. The (much larger) functional parts are cached once per
+    (profile, size, seed) and shared by every machine configuration.
     """
     settings = settings or ExperimentSettings()
-    key = _run_key(profile, settings, trigger)
+    if machine is None:
+        machine = settings.machine_for(profile, trigger)
+    key = _run_key(profile, settings, machine)
     if key in _run_cache:
         return _run_cache[key]
     runtime = get_runtime()
-    machine = settings.machine_for(profile, trigger)
     disk_key = None
     if runtime.cache is not None:
         disk_key = cache_key("run", profile, settings.target_instructions,
@@ -141,6 +155,7 @@ def run_benchmark(
         cached = runtime.cache.get(disk_key)
         if cached is not MISS:
             pipeline, report = cached
+            runtime.telemetry.increment("timeline_store_hits")
             program, execution, deadness = functional_parts(profile, settings)
             run = BenchmarkRun(profile=profile, program=program,
                                execution=execution, deadness=deadness,
@@ -178,17 +193,22 @@ def run_benchmarks(
     runtime = get_runtime()
     effective_jobs = runtime.jobs if jobs is None else jobs
     if effective_jobs > 1:
-        pending = [p for p in profiles
-                   if _run_key(p, settings, trigger) not in _run_cache]
+        pending = [
+            p for p in profiles
+            if _run_key(p, settings, settings.machine_for(p, trigger))
+            not in _run_cache]
         if len(pending) > 1:
             from repro.runtime.engine import run_benchmarks_parallel
 
             runs = run_benchmarks_parallel(
                 pending, settings, trigger, effective_jobs,
                 cache_dir=runtime.cache_dir, telemetry=runtime.telemetry,
-                policy=runtime.policy, chaos=runtime.chaos)
+                policy=runtime.policy, chaos=runtime.chaos,
+                interval_kernel=runtime.interval_kernel)
             for profile, run in zip(pending, runs):
-                _run_cache[_run_key(profile, settings, trigger)] = run
+                _run_cache[_run_key(
+                    profile, settings,
+                    settings.machine_for(profile, trigger))] = run
                 _functional_cache.setdefault(
                     _functional_key(profile, settings),
                     (run.program, run.execution, run.deadness))

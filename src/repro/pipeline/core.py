@@ -24,6 +24,9 @@ an in-order machine — which is precisely why squashing is nearly free.
 
 from __future__ import annotations
 
+import gc
+from collections import OrderedDict
+from contextlib import contextmanager
 from typing import List, Optional
 
 from repro.arch.trace import CommittedOp
@@ -49,17 +52,42 @@ from repro.util.rng import DeterministicRng, derive_seed
 #: exhibit sweeps, which run 3-4 triggers over one trace. Entries carry
 #: the exact address stream so a (vanishingly unlikely) hash collision
 #: degrades to a recompute, never to wrong state. Process-local: worker
-#: processes each grow their own.
-_WARM_SNAPSHOTS: dict = {}
+#: processes each grow their own. Bounded LRU: a hit refreshes the entry,
+#: inserting past the cap evicts the least-recently-used one (long
+#: multi-workload campaigns previously grew this without limit).
+_WARM_SNAPSHOTS: "OrderedDict" = OrderedDict()
 _WARM_SNAPSHOT_LIMIT = 16
 #: Module-level counters (surfaced via telemetry in ``--verbose`` runs).
 warm_snapshot_hits = 0
 warm_snapshot_misses = 0
+warm_snapshot_evictions = 0
 
 
 def clear_warm_snapshots() -> None:
     """Drop all cached warm-hierarchy snapshots (tests/benchmarks)."""
     _WARM_SNAPSHOTS.clear()
+
+
+@contextmanager
+def _gc_paused():
+    """Pause generational garbage collection for the simulation.
+
+    Both timing kernels allocate millions of short-lived objects (IQ
+    entries, interval tuples) but never create reference cycles, so
+    collections during a run free nothing — and once the functional/run
+    memos hold a whole suite's traces, every gen-2 pass traverses that
+    entire long-lived heap, slowing the hot loop 2x+. Refcounting still
+    reclaims all simulation garbage promptly; cycle collection merely
+    waits until the run returns.
+    """
+    if gc.isenabled():
+        gc.disable()
+        try:
+            yield
+        finally:
+            gc.enable()
+    else:
+        yield
 
 
 class _Entry:
@@ -118,6 +146,7 @@ class PipelineSimulator:
           preserving the L1 misses the squash technique triggers on.
         """
         global warm_snapshot_hits, warm_snapshot_misses
+        global warm_snapshot_evictions
         # Local import: the runtime context package must stay importable
         # without the pipeline (workers tick their own telemetry, which
         # the engine merges into the parent's).
@@ -135,6 +164,7 @@ class PipelineSimulator:
         if cached is not None and cached[0] == addresses:
             warm_snapshot_hits += 1
             telemetry.increment("warm_hierarchy_hits")
+            _WARM_SNAPSHOTS.move_to_end(key)
             self.hierarchy.restore(cached[1])
             self.hierarchy.reset_stats()
             return
@@ -148,11 +178,31 @@ class PipelineSimulator:
             for address in addresses[-tail:]:
                 access(address)
         self.hierarchy.reset_stats()
-        if len(_WARM_SNAPSHOTS) >= _WARM_SNAPSHOT_LIMIT:
-            _WARM_SNAPSHOTS.pop(next(iter(_WARM_SNAPSHOTS)))
+        while len(_WARM_SNAPSHOTS) >= _WARM_SNAPSHOT_LIMIT:
+            _WARM_SNAPSHOTS.popitem(last=False)
+            warm_snapshot_evictions += 1
+            telemetry.increment("warm_snapshot_evictions")
         _WARM_SNAPSHOTS[key] = (addresses, self.hierarchy.snapshot())
 
     def run(self) -> PipelineResult:
+        """Run the timing simulation through the active kernel.
+
+        The interval-compressed kernel (:mod:`repro.pipeline.kernel`) is
+        the default; it is bit-identical to :meth:`run_per_cycle` — same
+        cycle counts, intervals, stats, and RNG stream — just faster.
+        ``--no-interval-kernel`` (RuntimeContext.interval_kernel=False)
+        selects the legacy per-cycle loop.
+        """
+        from repro.runtime.context import get_runtime
+
+        with _gc_paused():
+            if get_runtime().interval_kernel:
+                from repro.pipeline.kernel import run_interval
+
+                return run_interval(self)
+            return self.run_per_cycle()
+
+    def run_per_cycle(self) -> PipelineResult:
         cfg = self.config
         if cfg.warm_caches:
             self._warm_caches()

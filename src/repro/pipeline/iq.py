@@ -9,8 +9,9 @@ numerator (paper Section 2).
 
 from __future__ import annotations
 
+from array import array
 from enum import Enum, unique
-from typing import Optional
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.isa.instruction import Instruction
 
@@ -22,6 +23,17 @@ class OccupantKind(Enum):
     COMMITTED = "committed"  # correct-path, issued, retired
     WRONG_PATH = "wrong_path"  # fetched past a mispredicted branch
     SQUASHED = "squashed"  # correct-path victim of the exposure squash
+
+
+#: Integer codes for the interval-record path (indices into KIND_BY_CODE).
+KIND_COMMITTED, KIND_WRONG_PATH, KIND_SQUASHED = 0, 1, 2
+KIND_BY_CODE: Tuple[OccupantKind, ...] = (
+    OccupantKind.COMMITTED, OccupantKind.WRONG_PATH, OccupantKind.SQUASHED)
+CODE_BY_KIND = {kind: code for code, kind in enumerate(KIND_BY_CODE)}
+
+#: Sentinel in the integer columns for "no value" (never-issued intervals
+#: and the seq of wrong-path occupants, which never commit).
+NO_VALUE = -1
 
 
 class OccupancyInterval:
@@ -82,3 +94,78 @@ class OccupancyInterval:
             f"alloc={self.alloc_cycle}, issue={self.issue_cycle}, "
             f"dealloc={self.dealloc_cycle})"
         )
+
+
+class IntervalTimeline(Sequence):
+    """Columnar form of an occupancy-interval log.
+
+    The interval kernel emits one ``(seq, kind, alloc, issue, dealloc,
+    instruction)`` record per residency instead of an
+    :class:`OccupancyInterval` object; this class stores those records as
+    parallel integer columns (``array('q')``, :data:`NO_VALUE` for "none")
+    plus one object column for the instruction. The AVF layer integrates
+    the columns directly by closed-form interval arithmetic; everything
+    that still wants objects gets them through the sequence protocol —
+    materialization happens once, lazily, and is cached.
+    """
+
+    __slots__ = ("seq", "kind", "alloc", "issue", "dealloc", "instr",
+                 "_materialized")
+
+    def __init__(self, records: Sequence[tuple]) -> None:
+        if records:
+            seq, kind, alloc, issue, dealloc, instr = zip(*records)
+        else:
+            seq = kind = alloc = issue = dealloc = instr = ()
+        self.seq = array("q", seq)
+        self.kind = array("b", kind)
+        self.alloc = array("q", alloc)
+        self.issue = array("q", issue)
+        self.dealloc = array("q", dealloc)
+        self.instr: Tuple[Instruction, ...] = tuple(instr)
+        self._materialized: Optional[List[OccupancyInterval]] = None
+
+    # -- sequence protocol (materializes on first object access) ----------
+
+    def materialize(self) -> List[OccupancyInterval]:
+        """The equivalent :class:`OccupancyInterval` list (cached)."""
+        if self._materialized is None:
+            kinds = KIND_BY_CODE
+            self._materialized = [
+                OccupancyInterval(
+                    None if s == NO_VALUE else s, instr, kinds[k], a,
+                    None if i == NO_VALUE else i, d)
+                for s, k, a, i, d, instr in zip(
+                    self.seq, self.kind, self.alloc, self.issue,
+                    self.dealloc, self.instr)
+            ]
+        return self._materialized
+
+    def __len__(self) -> int:
+        return len(self.kind)
+
+    def __getitem__(self, index):
+        return self.materialize()[index]
+
+    def __iter__(self) -> Iterator[OccupancyInterval]:
+        return iter(self.materialize())
+
+    def __repr__(self) -> str:
+        return f"IntervalTimeline({len(self)} intervals)"
+
+    # -- closed-form column arithmetic -------------------------------------
+
+    def total_resident_cycles(self) -> int:
+        """Sum of ``dealloc - alloc`` without touching objects."""
+        return sum(self.dealloc) - sum(self.alloc)
+
+    # -- pickling (the persistent timeline store ships these) --------------
+
+    def __getstate__(self) -> tuple:
+        return (self.seq, self.kind, self.alloc, self.issue, self.dealloc,
+                self.instr)
+
+    def __setstate__(self, state: tuple) -> None:
+        (self.seq, self.kind, self.alloc, self.issue, self.dealloc,
+         self.instr) = state
+        self._materialized = None

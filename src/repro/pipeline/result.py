@@ -3,22 +3,35 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Optional, Sequence
 
-from repro.pipeline.iq import OccupancyInterval
+from repro.pipeline.iq import IntervalTimeline, OccupancyInterval
 
 
 @dataclass
 class PipelineResult:
-    """Output of one timing run."""
+    """Output of one timing run.
+
+    ``intervals`` is a sequence of :class:`OccupancyInterval`. The interval
+    kernel supplies an :class:`IntervalTimeline` (columnar, lazy — see
+    :attr:`timeline`); the per-cycle loop supplies a plain list. Consumers
+    that iterate cannot tell the difference.
+    """
 
     cycles: int
     committed: int
-    intervals: List[OccupancyInterval]
+    intervals: Sequence[OccupancyInterval]
     iq_entries: int
     #: Counter bag: squashes, wrong-path instructions fetched, miss counts
     #: per level, branch statistics, throttle cycles, ...
     stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def timeline(self) -> Optional[IntervalTimeline]:
+        """The columnar interval log, when this run came from the kernel."""
+        if isinstance(self.intervals, IntervalTimeline):
+            return self.intervals
+        return None
 
     @property
     def ipc(self) -> float:
@@ -35,5 +48,9 @@ class PipelineResult:
         """Fraction of entry-cycles holding any occupant (1 - idle)."""
         if self.cycles == 0:
             return 0.0
-        resident = sum(i.resident_cycles for i in self.intervals)
+        timeline = self.timeline
+        if timeline is not None:
+            resident = timeline.total_resident_cycles()
+        else:
+            resident = sum(i.resident_cycles for i in self.intervals)
         return resident / self.total_entry_cycles

@@ -39,7 +39,11 @@ def _tokens(obj: Any) -> Iterator[bytes]:
     # Local imports: the simulator packages must not depend on the runtime.
     from repro.isa.instruction import Instruction
     from repro.isa.program import Program
-    from repro.pipeline.iq import OccupancyInterval
+    from repro.pipeline.iq import (
+        KIND_BY_CODE,
+        IntervalTimeline,
+        OccupancyInterval,
+    )
     from repro.pipeline.result import PipelineResult
 
     if obj is None:
@@ -72,12 +76,24 @@ def _tokens(obj: Any) -> Iterator[bytes]:
         yield (f"ivl:{seq}:{obj.kind.value}:{obj.alloc_cycle}:"
                f"{issue}:{obj.dealloc_cycle}:"
                f"{obj.instruction.encode()}").encode()
+    elif isinstance(obj, IntervalTimeline):
+        # Column form of the OccupancyInterval encoding above, token for
+        # token (NO_VALUE is already -1), so a result's key is the same
+        # whichever timing kernel produced it — no materialisation needed.
+        for seq, kind, alloc, issue, dealloc, instr in zip(
+                obj.seq, obj.kind, obj.alloc, obj.issue, obj.dealloc,
+                obj.instr):
+            yield (f"ivl:{seq}:{KIND_BY_CODE[kind].value}:{alloc}:"
+                   f"{issue}:{dealloc}:{instr.encode()}").encode()
     elif isinstance(obj, PipelineResult):
         yield b"pipeline"
         yield from _tokens((obj.cycles, obj.committed, obj.iq_entries))
         yield from _tokens(sorted(obj.stats.items()))
-        for interval in obj.intervals:
-            yield from _tokens(interval)
+        if isinstance(obj.intervals, IntervalTimeline):
+            yield from _tokens(obj.intervals)
+        else:
+            for interval in obj.intervals:
+                yield from _tokens(interval)
     elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         yield b"dc:" + type(obj).__name__.encode()
         for field in dataclasses.fields(obj):

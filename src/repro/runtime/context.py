@@ -41,6 +41,10 @@ class RuntimeContext:
     #: re-execution (``--no-static-filter`` turns this off to measure the
     #: filter / reproduce seed-era wall-clock; tallies are identical).
     static_filter: bool = True
+    #: Run timing simulations through the interval-compressed kernel
+    #: (``--no-interval-kernel`` selects the legacy per-cycle loop;
+    #: results are bit-identical either way).
+    interval_kernel: bool = True
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -85,6 +89,7 @@ def configure(
     chaos: Optional[Union[ChaosConfig, str]] = None,
     chaos_seed: int = 1337,
     static_filter: bool = True,
+    interval_kernel: bool = True,
 ) -> RuntimeContext:
     """Build and install a context from CLI-style knobs.
 
@@ -105,7 +110,8 @@ def configure(
         jobs=jobs, cache=cache, policy=policy, chaos=chaos,
         checkpoint_dir=None if checkpoint_dir is None
         else Path(checkpoint_dir),
-        resume=resume, static_filter=static_filter))
+        resume=resume, static_filter=static_filter,
+        interval_kernel=interval_kernel))
 
 
 @contextmanager
@@ -120,6 +126,7 @@ def use_runtime(
     checkpoint_dir: Optional[Union[str, Path]] = None,
     resume: bool = False,
     static_filter: bool = True,
+    interval_kernel: bool = True,
 ) -> Iterator[RuntimeContext]:
     """Scoped context install; restores the previous context on exit."""
     if cache is None and cache_dir is not None and not no_cache:
@@ -132,7 +139,8 @@ def use_runtime(
                              chaos=chaos,
                              checkpoint_dir=checkpoint_dir,
                              resume=resume,
-                             static_filter=static_filter)
+                             static_filter=static_filter,
+                             interval_kernel=interval_kernel)
     previous = get_runtime()
     set_runtime(context)
     try:

@@ -90,7 +90,8 @@ def _worker_counters(context) -> dict:
 
 
 def _benchmark_task(profile, settings, trigger, cache_dir: Optional[str],
-                    chaos: Optional[ChaosConfig], attempt: int):
+                    chaos: Optional[ChaosConfig], interval_kernel: bool,
+                    attempt: int):
     """Worker: one full benchmark run under a private serial context."""
     from repro.experiments.common import run_benchmark
     from repro.runtime.cache import ResultCache
@@ -99,7 +100,8 @@ def _benchmark_task(profile, settings, trigger, cache_dir: Optional[str],
     if chaos is not None:
         ChaosInjector(chaos).maybe_kill(("benchmark", profile.name), attempt)
     cache = ResultCache(cache_dir) if cache_dir else None
-    context = set_runtime(RuntimeContext(jobs=1, cache=cache))
+    context = set_runtime(RuntimeContext(jobs=1, cache=cache,
+                                         interval_kernel=interval_kernel))
     began = time.perf_counter()
     run = run_benchmark(profile, settings, trigger)
     elapsed = time.perf_counter() - began
@@ -115,6 +117,7 @@ def run_benchmarks_parallel(
     telemetry: Optional[Telemetry] = None,
     policy: Optional[RetryPolicy] = None,
     chaos: Optional[ChaosConfig] = None,
+    interval_kernel: bool = True,
 ) -> List[Any]:
     """Map ``run_benchmark`` over profiles across supervised processes.
 
@@ -136,7 +139,8 @@ def run_benchmarks_parallel(
 
     tasks = [
         SupervisedTask(fn=_benchmark_task,
-                       args=(profile, settings, trigger, cache_dir, chaos),
+                       args=(profile, settings, trigger, cache_dir, chaos,
+                             interval_kernel),
                        items=1, key=profile.name, deadline=False)
         for profile in profiles
     ]

@@ -123,7 +123,14 @@ class Telemetry:
                     f"  warm hierarchy: "
                     f"{self.counters['warm_hierarchy_hits']} snapshot "
                     f"restores, {self.counters['warm_hierarchy_misses']} "
-                    f"full warm-ups")
+                    f"full warm-ups, "
+                    f"{self.counters['warm_snapshot_evictions']} snapshots "
+                    f"evicted")
+            if self.counters["timeline_store_hits"]:
+                lines.append(
+                    f"  timeline store: "
+                    f"{self.counters['timeline_store_hits']} pipeline runs "
+                    f"served without simulation")
             for name in sorted(self.counters):
                 lines.append(f"  {name}: {self.counters[name]}")
         return "\n".join(lines)

@@ -1,0 +1,416 @@
+"""Differential proof for the interval-compressed timing kernel.
+
+The kernel (``repro.pipeline.kernel``) must be *bit-identical* to the
+legacy per-cycle loop: same cycle counts, same interval log (in order),
+same stats dictionary, same RNG stream, and — through the interval-record
+breakdown path — the same AVF/MITF numbers to the last bit. These tests
+run both paths over every benchmark profile x squash trigger, over the
+machine-config variants the ablations exercise, and over the edge cases
+(zero-committed programs, a squashed last instruction, a queue that never
+fills), and compare everything.
+
+They also cover the persistent timeline store: a second pass over the
+same work must perform zero pipeline simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.deadcode import analyze_deadness
+from repro.arch.executor import FunctionalSimulator
+from repro.avf.avf_calc import compute_iq_avf
+from repro.avf.occupancy import AccountingPolicy, compute_breakdown
+from repro.isa.opcodes import Opcode
+from repro.pipeline import core as core_mod
+from repro.pipeline.config import (
+    IssuePolicy,
+    MachineConfig,
+    SquashAction,
+    SquashConfig,
+    Trigger,
+)
+from repro.pipeline.core import PipelineSimulator
+from repro.pipeline.iq import IntervalTimeline, OccupantKind
+from repro.pipeline.kernel import run_interval
+from repro.pipeline.result import PipelineResult
+from repro.runtime.cache import cache_key
+from repro.runtime.context import use_runtime
+from repro.workloads.codegen import synthesize
+from repro.workloads.spec2000 import ALL_PROFILES
+
+from .conftest import TEST_SEED
+from .helpers import I, program
+
+TRIGGERS = (Trigger.NONE, Trigger.L0_MISS, Trigger.L1_MISS)
+
+
+def _run_both(program_, trace, machine, seed=TEST_SEED):
+    """(legacy per-cycle result, interval-kernel result) for one config."""
+    legacy = PipelineSimulator(program_, trace, machine,
+                               seed=seed).run_per_cycle()
+    fast = run_interval(PipelineSimulator(program_, trace, machine,
+                                          seed=seed))
+    return legacy, fast
+
+
+def _assert_identical(legacy, fast, deadness):
+    """Every observable of the two timing paths must agree exactly."""
+    assert isinstance(fast.intervals, IntervalTimeline)
+    assert not isinstance(legacy.intervals, IntervalTimeline)
+    assert legacy.cycles == fast.cycles
+    assert legacy.committed == fast.committed
+    assert legacy.iq_entries == fast.iq_entries
+    assert legacy.stats == fast.stats
+    assert legacy.ipc == fast.ipc
+    li, fi = list(legacy.intervals), list(fast.intervals)
+    assert len(li) == len(fi)
+    for a, b in zip(li, fi):
+        assert a.seq == b.seq
+        assert a.kind is b.kind
+        assert a.alloc_cycle == b.alloc_cycle
+        assert a.issue_cycle == b.issue_cycle
+        assert a.dealloc_cycle == b.dealloc_cycle
+        assert a.instruction.encode() == b.instruction.encode()
+    for policy in AccountingPolicy:
+        lb = compute_breakdown(legacy, deadness, policy)
+        fb = compute_breakdown(fast, deadness, policy)
+        assert lb.ace_bit_cycles == fb.ace_bit_cycles
+        assert lb.unace_bit_cycles == fb.unace_bit_cycles
+        assert lb.ex_ace_bit_cycles == fb.ex_ace_bit_cycles
+        assert lb.unread_bit_cycles == fb.unread_bit_cycles
+        assert lb.resident_bit_cycles == fb.resident_bit_cycles
+        assert lb.fdd_distance_weights == fb.fdd_distance_weights
+        assert lb.sdc_avf == fb.sdc_avf
+        assert lb.due_avf == fb.due_avf
+    lr = compute_iq_avf("x", legacy, deadness)
+    fr = compute_iq_avf("x", fast, deadness)
+    assert lr.ipc_over_sdc_avf == fr.ipc_over_sdc_avf
+    assert lr.ipc_over_due_avf == fr.ipc_over_due_avf
+    # The persistent store must key both identically.
+    assert cache_key(legacy) == cache_key(fast)
+
+
+class TestDifferentialMatrix:
+    """Both paths agree over profiles, triggers, and machine variants."""
+
+    @pytest.mark.parametrize("profile", ALL_PROFILES,
+                             ids=[p.name for p in ALL_PROFILES])
+    def test_every_profile_every_trigger(self, profile):
+        program_ = synthesize(profile, target_instructions=3000,
+                              seed=TEST_SEED)
+        execution = FunctionalSimulator(program_).run()
+        assert execution.clean
+        deadness = analyze_deadness(execution)
+        base = MachineConfig(fetch_bubble_prob=profile.fetch_bubble_prob)
+        for trigger in TRIGGERS:
+            machine = replace(base,
+                              squash=replace(base.squash, trigger=trigger))
+            legacy, fast = _run_both(program_, execution.trace, machine)
+            _assert_identical(legacy, fast, deadness)
+
+    @pytest.mark.parametrize("variant", [
+        "throttle", "resume_at_miss_return", "ooo_baseline", "ooo_l1",
+        "tiny_queue", "wide_machine",
+    ])
+    def test_machine_variants(self, variant, small_program, small_execution,
+                              small_deadness, base_machine):
+        machines = {
+            "throttle": replace(base_machine, squash=SquashConfig(
+                trigger=Trigger.L1_MISS, action=SquashAction.THROTTLE)),
+            "resume_at_miss_return": replace(base_machine,
+                                             squash=SquashConfig(
+                                                 trigger=Trigger.L1_MISS,
+                                                 resume_at_miss_return=True)),
+            "ooo_baseline": replace(base_machine,
+                                    issue_policy=IssuePolicy.OOO_WINDOW),
+            "ooo_l1": replace(base_machine,
+                              issue_policy=IssuePolicy.OOO_WINDOW,
+                              squash=SquashConfig(trigger=Trigger.L1_MISS)),
+            "tiny_queue": replace(base_machine, iq_entries=8),
+            "wide_machine": replace(base_machine, fetch_width=8,
+                                    issue_width=8, commit_width=8),
+        }
+        legacy, fast = _run_both(small_program, small_execution.trace,
+                                 machines[variant])
+        _assert_identical(legacy, fast, small_deadness)
+
+
+class TestEdgeCases:
+    """The corners ISSUE 4 calls out, on both paths."""
+
+    def test_zero_committed_breakdown(self):
+        """A run that committed nothing produces an all-zero breakdown,
+        with or without a DeadnessAnalysis, on both interval forms."""
+        for intervals in ([], IntervalTimeline([])):
+            result = PipelineResult(cycles=25, committed=0,
+                                    intervals=intervals, iq_entries=64,
+                                    stats={})
+            for policy in AccountingPolicy:
+                breakdown = compute_breakdown(result, None, policy)
+                assert breakdown.ace_bit_cycles == 0.0
+                assert breakdown.resident_bit_cycles == 0.0
+                assert breakdown.unace_bit_cycles == {}
+                assert breakdown.fdd_distance_weights == {}
+                assert breakdown.sdc_avf == 0.0
+
+    def test_minimal_one_instruction_trace(self):
+        """The smallest simulatable program: a lone HALT."""
+        prog = program([I(Opcode.HALT)])
+        execution = FunctionalSimulator(prog).run()
+        assert execution.clean
+        deadness = analyze_deadness(execution)
+        legacy, fast = _run_both(prog, execution.trace, MachineConfig())
+        _assert_identical(legacy, fast, deadness)
+        assert fast.committed == len(execution.trace)
+
+    def test_last_instruction_squashed(self):
+        """A trace whose final instruction is an exposure-squash victim."""
+        body = [I(Opcode.MOVI, r1=1, imm=7)]
+        for _ in range(24):
+            body.append(I(Opcode.ADDI, r1=1, r2=1, imm=48))
+            body.append(I(Opcode.LD, r1=2, r2=1, imm=0))
+            body.append(I(Opcode.ADD, r1=3, r2=2, r3=2))
+        prog = program(body)
+        execution = FunctionalSimulator(prog).run()
+        assert execution.clean
+        deadness = analyze_deadness(execution)
+        machine = MachineConfig(squash=SquashConfig(trigger=Trigger.L0_MISS))
+        legacy, fast = _run_both(prog, execution.trace, machine)
+        _assert_identical(legacy, fast, deadness)
+        assert fast.stats["squashed_instructions"] > 0
+        last_seq = max(op.seq for op in execution.trace)
+        squashed = {iv.seq for iv in fast.intervals
+                    if iv.kind is OccupantKind.SQUASHED}
+        assert last_seq in squashed  # the case this test exists for
+        committed = {iv.seq for iv in fast.intervals
+                     if iv.kind is OccupantKind.COMMITTED}
+        assert last_seq in committed  # ... and it was refetched
+
+    def test_queue_never_fills(self, small_program, small_execution,
+                               small_deadness, base_machine):
+        """An IQ larger than the whole trace never exerts backpressure."""
+        machine = replace(base_machine, iq_entries=16384)
+        legacy, fast = _run_both(small_program, small_execution.trace,
+                                 machine)
+        _assert_identical(legacy, fast, small_deadness)
+        peak = max((len(small_execution.trace), 1))
+        assert fast.iq_entries == 16384
+        assert len(fast.intervals) >= peak
+
+    def test_no_bubble_stream(self, small_program, small_execution,
+                              small_deadness, base_machine):
+        """bubble_prob=0 exercises the pure-skip (draw-free) path."""
+        machine = replace(base_machine, fetch_bubble_prob=0.0)
+        legacy, fast = _run_both(small_program, small_execution.trace,
+                                 machine)
+        _assert_identical(legacy, fast, small_deadness)
+
+
+class TestBreakdownPaths:
+    """The three breakdown integrators are interchangeable."""
+
+    @pytest.fixture(scope="class")
+    def fast_result(self, small_program, small_execution, squash_machine):
+        return run_interval(PipelineSimulator(
+            small_program, small_execution.trace, squash_machine,
+            seed=TEST_SEED))
+
+    def test_python_fallback_matches_numpy(self, fast_result, small_deadness,
+                                           monkeypatch):
+        import repro.avf.occupancy as occ
+
+        for policy in AccountingPolicy:
+            vectorised = compute_breakdown(fast_result, small_deadness,
+                                           policy)
+            monkeypatch.setattr(occ, "_np", None)
+            fallback = compute_breakdown(fast_result, small_deadness, policy)
+            monkeypatch.undo()
+            assert vectorised.ace_bit_cycles == fallback.ace_bit_cycles
+            assert vectorised.unace_bit_cycles == fallback.unace_bit_cycles
+            assert (vectorised.fdd_distance_weights
+                    == fallback.fdd_distance_weights)
+            assert (vectorised.resident_bit_cycles
+                    == fallback.resident_bit_cycles)
+            assert vectorised.unread_bit_cycles == fallback.unread_bit_cycles
+            assert vectorised.ex_ace_bit_cycles == fallback.ex_ace_bit_cycles
+
+    def test_timeline_requires_deadness(self, fast_result):
+        with pytest.raises(ValueError):
+            compute_breakdown(fast_result, None)
+
+    def test_timeline_materializes_lazily(self, fast_result):
+        timeline = fast_result.timeline
+        assert timeline is not None
+        assert timeline._materialized is None
+        interval = fast_result.intervals[0]
+        assert interval.alloc_cycle == timeline.alloc[0]
+        assert timeline._materialized is not None
+
+    def test_occupancy_fraction_uses_columns(self, fast_result):
+        column_total = fast_result.timeline.total_resident_cycles()
+        object_total = sum(iv.resident_cycles
+                           for iv in fast_result.intervals)
+        assert column_total == object_total
+
+    def test_list_results_have_no_timeline(self, small_pipeline):
+        plain = PipelineResult(cycles=10, committed=0, intervals=[],
+                               iq_entries=4, stats={})
+        assert plain.timeline is None
+
+
+class TestKernelSelection:
+    """run() dispatches on the runtime context's interval_kernel flag."""
+
+    def test_default_uses_interval_kernel(self, small_program,
+                                          small_execution, base_machine):
+        result = PipelineSimulator(small_program, small_execution.trace,
+                                   base_machine, seed=TEST_SEED).run()
+        assert isinstance(result.intervals, IntervalTimeline)
+
+    def test_flag_selects_legacy_loop(self, small_program, small_execution,
+                                      base_machine):
+        with use_runtime(interval_kernel=False):
+            result = PipelineSimulator(small_program, small_execution.trace,
+                                       base_machine, seed=TEST_SEED).run()
+        assert not isinstance(result.intervals, IntervalTimeline)
+
+    def test_cli_exposes_flag(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["table1", "--no-interval-kernel"])
+        assert args.no_interval_kernel
+
+
+class TestTimelineStore:
+    """The persistent cross-exhibit timeline store (tentpole layer 2)."""
+
+    def _settings(self):
+        from repro.experiments.common import ExperimentSettings
+
+        return ExperimentSettings(target_instructions=2500, seed=TEST_SEED)
+
+    def test_second_pass_simulates_nothing(self, tmp_path):
+        from repro.experiments.common import clear_caches, run_benchmark
+
+        settings = self._settings()
+        profiles = ALL_PROFILES[:3]
+        with use_runtime(cache_dir=tmp_path) as runtime:
+            for profile in profiles:
+                for trigger in (Trigger.NONE, Trigger.L1_MISS):
+                    run_benchmark(profile, settings, trigger)
+            assert runtime.telemetry.counters["pipeline_sims"] == 6
+        clear_caches()
+        with use_runtime(cache_dir=tmp_path) as runtime:
+            for profile in profiles:
+                for trigger in (Trigger.NONE, Trigger.L1_MISS):
+                    run = run_benchmark(profile, settings, trigger)
+                    assert isinstance(run.pipeline.intervals,
+                                      IntervalTimeline)
+            assert runtime.telemetry.counters["pipeline_sims"] == 0
+            assert runtime.telemetry.counters["timeline_store_hits"] == 6
+        clear_caches()
+
+    def test_store_round_trip_is_exact(self, tmp_path):
+        from repro.experiments.common import clear_caches, run_benchmark
+
+        settings = self._settings()
+        profile = ALL_PROFILES[0]
+        with use_runtime(cache_dir=tmp_path):
+            first = run_benchmark(profile, settings, Trigger.L1_MISS)
+        clear_caches()
+        with use_runtime(cache_dir=tmp_path):
+            second = run_benchmark(profile, settings, Trigger.L1_MISS)
+        clear_caches()
+        assert first.pipeline.cycles == second.pipeline.cycles
+        assert first.pipeline.stats == second.pipeline.stats
+        assert cache_key(first.pipeline) == cache_key(second.pipeline)
+        for policy in AccountingPolicy:
+            a = compute_breakdown(first.pipeline, first.deadness, policy)
+            b = compute_breakdown(second.pipeline, second.deadness, policy)
+            assert a.ace_bit_cycles == b.ace_bit_cycles
+            assert a.unace_bit_cycles == b.unace_bit_cycles
+
+    def test_ablations_share_the_store(self, tmp_path):
+        """Ablation runs route through run_benchmark and hit the store."""
+        from repro.experiments import ablations
+        from repro.experiments.common import clear_caches
+
+        settings = self._settings()
+        profiles = ALL_PROFILES[:2]
+        with use_runtime(cache_dir=tmp_path) as runtime:
+            ablations.accounting_policy(settings, profiles)
+            # Both policies integrate the same runs: 2 sims, not 4.
+            assert runtime.telemetry.counters["pipeline_sims"] == 2
+        clear_caches()
+        with use_runtime(cache_dir=tmp_path) as runtime:
+            ablations.accounting_policy(settings, profiles)
+            assert runtime.telemetry.counters["pipeline_sims"] == 0
+        clear_caches()
+
+    def test_memo_keys_on_full_machine_config(self):
+        """Satellite 2: runs differing in any machine knob never alias."""
+        from repro.experiments.common import (
+            ExperimentSettings,
+            _run_key,
+        )
+
+        settings = ExperimentSettings()
+        profile = ALL_PROFILES[0]
+        a = settings.machine_for(profile, Trigger.NONE)
+        b = replace(a, iq_entries=a.iq_entries * 2)
+        c = replace(a, issue_policy=IssuePolicy.OOO_WINDOW)
+        keys = {_run_key(profile, settings, m) for m in (a, b, c)}
+        assert len(keys) == 3
+
+
+class TestWarmSnapshotLru:
+    """Satellite 1: the warm-hierarchy snapshot cache is LRU-bounded."""
+
+    def test_eviction_when_over_limit(self, small_program, small_execution,
+                                      base_machine, monkeypatch):
+        core_mod.clear_warm_snapshots()
+        monkeypatch.setattr(core_mod, "_WARM_SNAPSHOT_LIMIT", 2)
+        before = core_mod.warm_snapshot_evictions
+        for tail in (11, 12, 13, 14):
+            machine = replace(base_machine, warmup_tail_accesses=tail)
+            PipelineSimulator(small_program, small_execution.trace,
+                              machine, seed=TEST_SEED).run()
+        assert len(core_mod._WARM_SNAPSHOTS) <= 2
+        assert core_mod.warm_snapshot_evictions >= before + 2
+        core_mod.clear_warm_snapshots()
+
+    def test_hit_refreshes_recency(self, small_program, small_execution,
+                                   base_machine, monkeypatch):
+        core_mod.clear_warm_snapshots()
+        monkeypatch.setattr(core_mod, "_WARM_SNAPSHOT_LIMIT", 2)
+
+        def simulate(machine):
+            PipelineSimulator(small_program, small_execution.trace,
+                              machine, seed=TEST_SEED).run()
+
+        first = replace(base_machine, warmup_tail_accesses=21)
+        second = replace(base_machine, warmup_tail_accesses=22)
+        simulate(first)
+        simulate(second)
+        keys_before = list(core_mod._WARM_SNAPSHOTS)
+        simulate(first)  # hit: must move first's key to MRU position
+        assert list(core_mod._WARM_SNAPSHOTS) == [keys_before[1],
+                                                  keys_before[0]]
+        # A third distinct config now evicts ``second``, not ``first``.
+        simulate(replace(base_machine, warmup_tail_accesses=23))
+        assert keys_before[0] in core_mod._WARM_SNAPSHOTS
+        assert keys_before[1] not in core_mod._WARM_SNAPSHOTS
+        core_mod.clear_warm_snapshots()
+
+    def test_eviction_counter_in_verbose_footer(self):
+        from repro.runtime.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        telemetry.increment("warm_hierarchy_hits", 3)
+        telemetry.increment("warm_hierarchy_misses", 2)
+        telemetry.increment("warm_snapshot_evictions", 1)
+        summary = telemetry.format_summary(verbose=True)
+        assert "1 snapshots evicted" in summary

@@ -1,0 +1,220 @@
+"""Before/after benchmark of the interval timing kernel + timeline store.
+
+Times the timing-bound exhibit suite (Table 1, the occupancy decomposition,
+Figures 2-4, and all five ablations) three ways:
+
+* ``seed`` — the seed-era configuration: the legacy per-cycle timing loop,
+  no persistent store, and per-exhibit memo isolation (at the seed, the
+  ablations bypassed the in-process timing memo entirely, so every exhibit
+  unit paid for its own simulations);
+* ``cold`` — the interval-compressed kernel writing through an empty
+  persistent timeline store, with the cross-exhibit memo shared: exhibits
+  that evaluate the same (program, machine) point reuse one simulation;
+* ``warm`` — the same suite against the populated store. Every pipeline
+  result is deserialized from the store; the run fails if a single
+  pipeline (or functional) simulation happens.
+
+Every exhibit's *formatted output* must be byte-identical across the three
+passes — the run aborts if not. Results land in ``BENCH_exhibits.json``
+and the process exits non-zero when the cold speedup drops below
+``--min-cold-speedup`` or the warm speedup below ``--min-warm-speedup``.
+
+    PYTHONPATH=src python tools/bench_exhibits.py
+    PYTHONPATH=src python tools/bench_exhibits.py --small   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+from repro.avf.occupancy import AccountingPolicy
+from repro.experiments import (
+    ablations,
+    figure2,
+    figure3,
+    figure4,
+    occupancy,
+    table1,
+)
+from repro.experiments.common import ExperimentSettings, clear_caches
+from repro.pipeline.core import clear_warm_snapshots
+from repro.runtime.context import use_runtime
+from repro.workloads.spec2000 import ALL_PROFILES
+
+
+def exhibit_units(settings, profiles):
+    """(name, callable) pairs; each unit returns its formatted exhibit.
+
+    The five ablations count as separate units: at the seed each built its
+    own timing runs from scratch, so the seed pass isolates them from each
+    other (and from the main exhibits) to reproduce that cost honestly.
+    """
+    return [
+        ("table1", lambda: table1.format_result(
+            table1.run(settings, profiles))),
+        ("occupancy", lambda: occupancy.format_result(
+            occupancy.run(settings, profiles))),
+        ("figure2", lambda: figure2.format_result(
+            figure2.run(settings, profiles))),
+        ("figure3", lambda: figure3.format_result(
+            figure3.run(settings, profiles))),
+        ("figure4", lambda: figure4.format_result(
+            figure4.run(settings, profiles))),
+        ("ablation:accounting", lambda: ablations.format_result(
+            ablations.accounting_policy(settings, profiles))),
+        ("ablation:refetch", lambda: ablations.format_result(
+            ablations.refetch_policy(settings, profiles))),
+        ("ablation:squash-vs-throttle", lambda: ablations.format_result(
+            ablations.squash_vs_throttle(settings, profiles))),
+        ("ablation:issue-policy", lambda: ablations.format_result(
+            ablations.issue_policy_contrast(settings, profiles))),
+        ("ablation:queue-size", lambda: ablations.format_result(
+            ablations.queue_size_sweep(settings, profiles))),
+    ]
+
+
+def run_suite(settings, profiles, isolate_units: bool):
+    """Run every unit; returns ({name: output}, per-unit seconds)."""
+    outputs = {}
+    seconds = {}
+    for name, unit in exhibit_units(settings, profiles):
+        if isolate_units:
+            clear_caches()
+        started = time.perf_counter()
+        outputs[name] = unit()
+        seconds[name] = time.perf_counter() - started
+    return outputs, seconds
+
+
+def sim_counters(telemetry):
+    return {name: telemetry.counters[name]
+            for name in ("pipeline_sims", "functional_sims",
+                         "timeline_store_hits")}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Time the exhibit suite under the interval kernel and "
+                    "timeline store; record BENCH_exhibits.json.")
+    parser.add_argument("--instructions", type=int, default=20_000)
+    parser.add_argument("--profiles", type=int, default=None,
+                        help="benchmark profile count (default: all 26)")
+    parser.add_argument("--seed", type=int, default=2004)
+    parser.add_argument("--small", action="store_true",
+                        help="CI preset: 6 profiles x 6000 instructions")
+    parser.add_argument("--min-cold-speedup", type=float, default=3.0)
+    parser.add_argument("--min-warm-speedup", type=float, default=10.0)
+    parser.add_argument("--output", default="BENCH_exhibits.json")
+    args = parser.parse_args()
+    if args.small:
+        args.instructions = min(args.instructions, 6000)
+        args.profiles = min(args.profiles or 6, 6)
+
+    settings = ExperimentSettings(target_instructions=args.instructions,
+                                  seed=args.seed)
+    profiles = list(ALL_PROFILES)
+    if args.profiles is not None:
+        step = max(1, len(profiles) // args.profiles)
+        profiles = profiles[::step][:args.profiles]
+    print(f"suite: {len(profiles)} profiles x {args.instructions} "
+          f"instructions, {len(exhibit_units(settings, profiles))} "
+          f"exhibit units")
+
+    def fresh():
+        clear_caches()
+        clear_warm_snapshots()
+
+    # ---- seed pass: legacy loop, no store, isolated units ---------------
+    fresh()
+    with use_runtime(interval_kernel=False) as context:
+        started = time.perf_counter()
+        seed_out, seed_units = run_suite(settings, profiles,
+                                         isolate_units=True)
+        seed_s = time.perf_counter() - started
+        seed_sims = sim_counters(context.telemetry)
+    print(f"seed (per-cycle loop, no store): {seed_s:.2f}s  {seed_sims}")
+
+    with TemporaryDirectory(prefix="bench-timeline-") as store_dir:
+        # ---- cold pass: interval kernel, empty store --------------------
+        fresh()
+        with use_runtime(cache_dir=store_dir) as context:
+            started = time.perf_counter()
+            cold_out, cold_units = run_suite(settings, profiles,
+                                             isolate_units=False)
+            cold_s = time.perf_counter() - started
+            cold_sims = sim_counters(context.telemetry)
+        print(f"cold (interval kernel, empty store): {cold_s:.2f}s  "
+              f"{cold_sims}")
+
+        # ---- warm pass: populated store ---------------------------------
+        fresh()
+        with use_runtime(cache_dir=store_dir) as context:
+            started = time.perf_counter()
+            warm_out, warm_units = run_suite(settings, profiles,
+                                             isolate_units=False)
+            warm_s = time.perf_counter() - started
+            warm_sims = sim_counters(context.telemetry)
+        print(f"warm (populated store): {warm_s:.2f}s  {warm_sims}")
+    fresh()
+
+    failures = []
+    for name in seed_out:
+        if cold_out[name] != seed_out[name]:
+            failures.append(f"cold output differs from seed for {name}")
+        if warm_out[name] != seed_out[name]:
+            failures.append(f"warm output differs from seed for {name}")
+    if warm_sims["pipeline_sims"]:
+        failures.append(
+            f"warm pass ran {warm_sims['pipeline_sims']} pipeline "
+            f"simulations; the store must serve all of them")
+    if warm_sims["timeline_store_hits"] <= 0:
+        failures.append("warm pass never hit the timeline store")
+    speedup_cold = seed_s / cold_s if cold_s > 0 else float("inf")
+    speedup_warm = seed_s / warm_s if warm_s > 0 else float("inf")
+    if speedup_cold < args.min_cold_speedup:
+        failures.append(f"cold speedup {speedup_cold:.2f}x below the "
+                        f"required {args.min_cold_speedup:.2f}x")
+    if speedup_warm < args.min_warm_speedup:
+        failures.append(f"warm speedup {speedup_warm:.2f}x below the "
+                        f"required {args.min_warm_speedup:.2f}x")
+
+    record = {
+        "suite": {
+            "profiles": len(profiles),
+            "instructions": args.instructions,
+            "seed": args.seed,
+            "units": [name for name, _ in exhibit_units(settings, profiles)],
+            "accounting_policies": [p.value for p in AccountingPolicy],
+        },
+        "seconds": {"seed_suite": round(seed_s, 3),
+                    "cold_suite": round(cold_s, 3),
+                    "warm_suite": round(warm_s, 3)},
+        "per_unit_seconds": {
+            "seed": {k: round(v, 3) for k, v in seed_units.items()},
+            "cold": {k: round(v, 3) for k, v in cold_units.items()},
+            "warm": {k: round(v, 3) for k, v in warm_units.items()},
+        },
+        "simulations": {"seed": seed_sims, "cold": cold_sims,
+                        "warm": warm_sims},
+        "speedup": {"cold_vs_seed": round(speedup_cold, 2),
+                    "warm_vs_seed": round(speedup_warm, 2)},
+        "outputs_identical": not any("differs" in f for f in failures),
+        "requirements": {"min_cold_speedup": args.min_cold_speedup,
+                         "min_warm_speedup": args.min_warm_speedup},
+        "passed": not failures,
+    }
+    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"cold {speedup_cold:.2f}x, warm {speedup_warm:.2f}x vs seed "
+          f"-> {args.output}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
