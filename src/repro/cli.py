@@ -8,7 +8,10 @@ Usage::
     python -m repro all --profiles 6 --instructions 20000
 
 ``--jobs N`` fans benchmark runs and campaign trials out over N worker
-processes; results are bit-identical to the serial default. ``--cache-dir``
+processes; results are bit-identical to the serial default. Campaign
+strikes are drawn and classified as vectorised array batches
+(``--no-batch-strikes`` reverts to per-trial sampling; tallies and cache
+keys are identical either way). ``--cache-dir``
 enables the persistent result cache — with the interval timing kernel
 (default; ``--no-interval-kernel`` selects the legacy per-cycle loop) the
 cache doubles as a cross-exhibit timeline store, so a warmed cache re-runs
@@ -182,6 +185,11 @@ def build_parser() -> argparse.ArgumentParser:
              "strike is classified by re-execution, as in the original "
              "slow path; tallies are identical either way)")
     parser.add_argument(
+        "--no-batch-strikes", action="store_true",
+        help="sample and classify campaign strikes one trial at a time "
+             "instead of as vectorised arrays (slower; tallies and "
+             "cache keys are bit-identical either way)")
+    parser.add_argument(
         "--verbose", action="store_true",
         help="extended telemetry footer: oracle fast-path breakdown, "
              "warmed-hierarchy reuse, and raw counters")
@@ -225,7 +233,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                             checkpoint_dir=args.checkpoint_dir,
                             resume=args.resume, chaos=chaos,
                             static_filter=not args.no_static_filter,
-                            interval_kernel=not args.no_interval_kernel)
+                            interval_kernel=not args.no_interval_kernel,
+                            batch_strikes=not args.no_batch_strikes)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -136,6 +136,8 @@ def run_trial_block(
     stop: int,
     on_trial: Optional[Callable[[int], None]] = None,
     evaluator: Optional[StrikeEvaluator] = None,
+    strikes=None,
+    classifier=None,
 ) -> Tuple[Counter, int]:
     """Classify trials ``[start, stop)``; returns (counts, tracker misses).
 
@@ -149,6 +151,14 @@ def run_trial_block(
     :class:`StrikeEvaluator` (shared tracker + warm effect oracle);
     omitted, a fresh one is built for the block. Either way the tallies
     are identical — only the amount of re-execution differs.
+
+    ``strikes`` (a :class:`~repro.faults.batch.StrikeBatch` covering at
+    least ``[start, stop)``) routes the block through the vectorised
+    classifier instead of the per-trial loop; ``classifier`` optionally
+    supplies the campaign-scoped
+    :class:`~repro.faults.batch.BatchClassifier` so blocks share its
+    precomputed masks. Tallies and oracle accounting are bit-identical
+    either way — batching is purely a wall-clock optimisation.
     """
     if evaluator is None:
         evaluator = StrikeEvaluator(
@@ -159,6 +169,9 @@ def run_trial_block(
             ecc=config.ecc,
             static_filter=get_runtime().static_filter,
         )
+    if strikes is not None:
+        return _run_block_batched(pipeline_result, start, stop, on_trial,
+                                  evaluator, strikes, classifier)
     sampler = StrikeModel(pipeline_result)
     counts: Counter = Counter()
     tracker_misses = 0
@@ -179,6 +192,52 @@ def run_trial_block(
         if verdict.tracker_miss:
             tracker_misses += 1
     return counts, tracker_misses
+
+
+def _run_block_batched(
+    pipeline_result: PipelineResult,
+    start: int,
+    stop: int,
+    on_trial: Optional[Callable[[int], None]],
+    evaluator: StrikeEvaluator,
+    strikes,
+    classifier,
+) -> Tuple[Counter, int]:
+    """The batched body of :func:`run_trial_block`.
+
+    Chaos hooks fire for every trial index up front — a hook exception
+    discards the whole block exactly as in the scalar loop (tallies are
+    only returned once the block completes, so partial work was never
+    observable). Classification failures surface as :class:`TrialCrash`
+    so the supervisor's retry/quarantine machinery, which then splits
+    the block into single-trial batches, isolates the failing index.
+    """
+    from repro.faults.batch import BatchClassifier
+
+    if on_trial is not None:
+        for index in range(start, stop):
+            try:
+                on_trial(index)
+            except RuntimeFault:
+                raise
+            except Exception as exc:
+                raise TrialCrash(
+                    f"trial {index} raised {type(exc).__name__}: {exc}",
+                    trial_index=index) from exc
+    if classifier is None:
+        classifier = BatchClassifier(evaluator, pipeline_result)
+    batch = strikes
+    if (batch.start, batch.stop) != (start, stop):
+        batch = batch.slice(start, stop)
+    try:
+        return classifier.classify(batch)
+    except RuntimeFault:
+        raise
+    except Exception as exc:
+        raise TrialCrash(
+            f"batched block [{start}, {stop}) raised "
+            f"{type(exc).__name__}: {exc}",
+            trial_index=start if stop - start == 1 else None) from exc
 
 
 def run_campaign(
@@ -251,7 +310,8 @@ def run_campaign(
             program, baseline, pipeline_result, config, effective_jobs,
             policy=runtime.policy, telemetry=telemetry, journal=journal,
             chaos=chaos, cache_dir=runtime.cache_dir,
-            static_filter=runtime.static_filter)
+            static_filter=runtime.static_filter,
+            batch_strikes=runtime.batch_strikes)
     except CampaignInterrupted:
         # The pool is drained and the journal (if any) holds every
         # completed block; account for the time and hand the partial

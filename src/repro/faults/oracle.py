@@ -122,6 +122,15 @@ class EffectOracle:
         """Entries computed by *this* oracle (preloaded ones excluded)."""
         return dict(self._new)
 
+    def is_memoized(self, seq: int, bit: int) -> bool:
+        """Whether ``effect(seq, bit)`` would be served from the memo.
+
+        Lets the batched classifier skip building static-verdict tables
+        for strikes a warmed oracle will answer anyway; does not count
+        as a memo hit.
+        """
+        return (seq, bit) in self._table
+
     def counters(self) -> Dict[str, int]:
         return {
             "oracle_memo_hits": self.memo_hits,
@@ -139,6 +148,32 @@ class EffectOracle:
             self.memo_hits += 1
             return cached
         if self.static_filter and self.classify_static(seq, bit) is not None:
+            self.static_kills += 1
+            effect = "none"
+        else:
+            self.executions += 1
+            effect = self._execute(seq, bit)
+        self._table[key] = effect
+        self._new[key] = effect
+        return effect
+
+    def effect_from_hint(self, seq: int, bit: int, inert_hint: bool) -> str:
+        """:meth:`effect` with the static verdict supplied by the caller.
+
+        The batched classifier (:mod:`repro.faults.batch`) precomputes
+        every static verdict as a bit matrix, so re-deriving it per
+        strike would waste the batching; ``inert_hint`` must equal
+        ``classify_static(seq, bit) is not None`` (the equivalence is
+        proven exhaustively in ``tests/test_strike_batching.py``).
+        Memoization, counter accounting, and the ``static_filter`` gate
+        behave exactly as in :meth:`effect`.
+        """
+        key = (seq, bit)
+        cached = self._table.get(key)
+        if cached is not None:
+            self.memo_hits += 1
+            return cached
+        if self.static_filter and inert_hint:
             self.static_kills += 1
             effect = "none"
         else:

@@ -20,6 +20,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+from array import array
 from enum import Enum
 from pathlib import Path
 from typing import Any, Iterator, Union
@@ -58,6 +59,13 @@ def _tokens(obj: Any) -> Iterator[bytes]:
         yield b"str:" + obj.encode()
     elif isinstance(obj, bytes):
         yield b"bytes:" + obj
+    elif isinstance(obj, array):
+        # Numeric columns (strike batches, timeline slices) tokenise by
+        # typecode + raw bytes. Campaign cache keys deliberately exclude
+        # the batching flag and any drawn strike arrays — batched and
+        # scalar runs of the same campaign must hash identically so
+        # cached tallies never fork.
+        yield b"arr:" + obj.typecode.encode() + b":" + obj.tobytes()
     elif isinstance(obj, Enum):
         yield f"enum:{type(obj).__name__}:{obj.value}".encode()
     elif isinstance(obj, Instruction):

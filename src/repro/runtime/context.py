@@ -45,6 +45,11 @@ class RuntimeContext:
     #: (``--no-interval-kernel`` selects the legacy per-cycle loop;
     #: results are bit-identical either way).
     interval_kernel: bool = True
+    #: Draw each campaign's strikes as one array batch and classify them
+    #: through the vectorised bit-matrix pre-filter
+    #: (``--no-batch-strikes`` selects per-trial sampling; tallies,
+    #: cache keys, and oracle counters are bit-identical either way).
+    batch_strikes: bool = True
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -90,6 +95,7 @@ def configure(
     chaos_seed: int = 1337,
     static_filter: bool = True,
     interval_kernel: bool = True,
+    batch_strikes: bool = True,
 ) -> RuntimeContext:
     """Build and install a context from CLI-style knobs.
 
@@ -111,7 +117,7 @@ def configure(
         checkpoint_dir=None if checkpoint_dir is None
         else Path(checkpoint_dir),
         resume=resume, static_filter=static_filter,
-        interval_kernel=interval_kernel))
+        interval_kernel=interval_kernel, batch_strikes=batch_strikes))
 
 
 @contextmanager
@@ -127,6 +133,7 @@ def use_runtime(
     resume: bool = False,
     static_filter: bool = True,
     interval_kernel: bool = True,
+    batch_strikes: bool = True,
 ) -> Iterator[RuntimeContext]:
     """Scoped context install; restores the previous context on exit."""
     if cache is None and cache_dir is not None and not no_cache:
@@ -140,7 +147,8 @@ def use_runtime(
                              checkpoint_dir=checkpoint_dir,
                              resume=resume,
                              static_filter=static_filter,
-                             interval_kernel=interval_kernel)
+                             interval_kernel=interval_kernel,
+                             batch_strikes=batch_strikes)
     previous = get_runtime()
     set_runtime(context)
     try:

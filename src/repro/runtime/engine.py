@@ -64,6 +64,7 @@ def run_campaign_parallel(
     policy: Optional[RetryPolicy] = None,
     journal=None,
     chaos: Optional[ChaosConfig] = None,
+    batch_strikes: bool = True,
 ) -> Tuple[Counter, int]:
     """Fan campaign trials out over ``jobs`` supervised worker processes.
 
@@ -73,7 +74,8 @@ def run_campaign_parallel(
     """
     counts, tracker_misses, _, _ = execute_campaign(
         program, baseline, pipeline_result, config, jobs,
-        policy=policy, telemetry=telemetry, journal=journal, chaos=chaos)
+        policy=policy, telemetry=telemetry, journal=journal, chaos=chaos,
+        batch_strikes=batch_strikes)
     return counts, tracker_misses
 
 

@@ -540,7 +540,7 @@ def shard_worker(program, baseline, pipeline_result, config,
                  start: int, stop: int,
                  chaos_config: Optional[ChaosConfig],
                  cache_dir: Optional[str], static_filter: bool,
-                 attempt: int):
+                 strikes, attempt: int):
     """Classify trials ``[start, stop)`` under optional chaos injection.
 
     Runs in a worker process (or inline when serial). Builds a
@@ -550,6 +550,12 @@ def shard_worker(program, baseline, pipeline_result, config,
     elapsed_seconds, oracle new-entry dict, oracle counter dict)``; the
     parent merges the last two so no re-execution is ever repeated in a
     later run.
+
+    ``strikes`` (a pre-drawn :class:`~repro.faults.batch.StrikeBatch`
+    slice covering the shard, or None for per-trial sampling) selects
+    the vectorised classification path; retry and quarantine still
+    operate on trial indices either way, because a batch slice is a pure
+    function of the indices it covers.
     """
     from repro.faults.campaign import run_trial_block
     from repro.faults.injector import StrikeEvaluator
@@ -577,12 +583,22 @@ def shard_worker(program, baseline, pipeline_result, config,
         evaluator.oracle.preload(load_persisted(
             ResultCache(cache_dir), oracle_cache_key(program)))
 
+    classifier = None
+    if strikes is not None:
+        from repro.faults.batch import BatchClassifier
+
+        classifier = BatchClassifier(evaluator, pipeline_result)
+
     began = time.perf_counter()
     counts, tracker_misses = run_trial_block(
         program, baseline, pipeline_result, config, start, stop,
-        on_trial=on_trial, evaluator=evaluator)
+        on_trial=on_trial, evaluator=evaluator, strikes=strikes,
+        classifier=classifier)
+    stats = evaluator.oracle.counters()
+    if classifier is not None:
+        stats.update(classifier.counters())
     return (dict(counts), tracker_misses, time.perf_counter() - began,
-            evaluator.oracle.new_entries(), evaluator.oracle.counters())
+            evaluator.oracle.new_entries(), stats)
 
 
 def validate_shard(value: Any, task: SupervisedTask) -> None:
@@ -623,6 +639,7 @@ def execute_campaign(
     chaos: Optional[ChaosConfig] = None,
     cache_dir: Optional[str] = None,
     static_filter: bool = True,
+    batch_strikes: bool = True,
 ) -> Tuple[Counter, int, CompletenessReport, Dict[Tuple[int, int], str]]:
     """Run a campaign under full supervision.
 
@@ -633,6 +650,13 @@ def execute_campaign(
     every completed block. Returns ``(counts, tracker_misses, report,
     oracle_new)`` where ``oracle_new`` is the union of effect-oracle
     entries the shards computed (for the caller to persist).
+
+    With ``batch_strikes`` the whole campaign's strikes are drawn once
+    up front (:func:`~repro.faults.batch.draw_strike_batch`) and shard
+    tuples carry array slices; tallies, cache keys, and oracle counters
+    are bit-identical to per-trial sampling. A degenerate pipeline
+    result that cannot be sampled falls back to the scalar path so its
+    failure surfaces through the usual per-shard taxonomy.
 
     A corrupt journal is discarded (counted in telemetry) and the
     campaign restarts from zero — never trust, always re-derive.
@@ -675,6 +699,24 @@ def execute_campaign(
 
     blocks = plan_blocks(remaining, jobs, fine=journal is not None)
 
+    batch = None
+    if batch_strikes and blocks:
+        from repro.faults.batch import draw_strike_batch
+
+        lo = min(start for start, _ in blocks)
+        hi = max(stop for _, stop in blocks)
+        try:
+            batch = draw_strike_batch(pipeline_result, config,
+                                      program.name, lo, hi)
+        except KeyboardInterrupt:
+            raise
+        except Exception:
+            # Unsampleable pipeline result (e.g. empty entry-cycle
+            # space): let the scalar path raise the identical error
+            # inside the shards, where retry/quarantine accounting
+            # already knows what to do with it.
+            batch = None
+
     def on_result(index: int, task: SupervisedTask, value) -> None:
         nonlocal tracker_misses
         shard_counts, shard_misses, seconds, shard_oracle, oracle_stats = value
@@ -696,7 +738,8 @@ def execute_campaign(
             SupervisedTask(
                 fn=shard_worker,
                 args=(program, baseline, pipeline_result, config,
-                      start, stop, chaos, cache_dir, static_filter),
+                      start, stop, chaos, cache_dir, static_filter,
+                      None if batch is None else batch.slice(start, stop)),
                 items=stop - start, key=(start, stop), deadline=True)
             for start, stop in spans
         ]

@@ -104,6 +104,9 @@ class Telemetry:
         oracle = self._format_oracle()
         if oracle:
             parts.append(oracle)
+        batch = self._format_batch()
+        if batch:
+            parts.append(batch)
         resilience = self._format_resilience()
         if resilience:
             parts.append(resilience)
@@ -147,6 +150,23 @@ class Telemetry:
         fast = memo + static
         return (f"oracle: {memo} memo hits, {static} static kills, "
                 f"{executed} re-executions ({fast / total:.0%} fast path)")
+
+    def _format_batch(self) -> str:
+        """Vectorised-strike account, empty when no batch was classified.
+
+        ``vector kills`` are trials the array pass resolved outright
+        (never-read, ECC-corrected, wrong-path); ``scalar kills`` are
+        committed-read survivors the bit-matrix masks or the oracle memo
+        settled without re-execution; the rest re-executed.
+        """
+        c = self.counters
+        total = c["batch_trials"]
+        if not total:
+            return ""
+        return (f"batch: {c['batch_vector_kills']} vector kills, "
+                f"{c['batch_scalar_kills']} scalar kills, "
+                f"{c['batch_reexecutions']} re-executions "
+                f"over {total} trials")
 
     def _format_resilience(self) -> str:
         """Retry/quarantine account, empty when the run was failure-free."""

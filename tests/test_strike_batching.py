@@ -1,0 +1,514 @@
+"""Differential harness for the vectorised strike batcher.
+
+The batcher's contract is the same as every other fast path in this
+repo: *bit-identical results*. These tests prove it four ways:
+
+* golden — for every protection configuration (each ``TrackingLevel``
+  plus unprotected and ECC), a pinned-seed campaign classified through
+  the batched path must produce the same tallies, tracker misses,
+  confidence intervals, and oracle counters as the scalar per-trial
+  loop, on both the plain and the squash-heavy pipeline;
+* stream equivalence — a hypothesis property that the array sampler
+  draws exactly the (interval, bit, cycle) sequence the per-trial
+  ``derive_seed`` sampler draws, for any seed and any ``--jobs N``
+  sharding of the index space;
+* mask soundness — every (instruction, bit) flip of a tiny program that
+  exercises all three static rules: the precomputed bit-matrix kills a
+  strike iff ``EffectOracle.classify_static`` kills it;
+* fallback parity — the pure-Python path (NumPy absent) reproduces the
+  NumPy results batch-for-batch and tally-for-tally.
+
+Plus the cache-key non-forking guarantee (a batched campaign's tally is
+served warm to a scalar run and vice versa) and a pinned regression for
+the mcf-181 OOO+L0 baseline pathology from ROADMAP.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.faults.batch as batch_mod
+from repro.arch.executor import FunctionalSimulator
+from repro.cli import build_parser, main
+from repro.due.tracking import TrackingLevel
+from repro.faults.batch import (
+    BatchClassifier,
+    StrikeBatch,
+    build_kill_masks,
+    draw_strike_batch,
+    kill_matrix,
+)
+from repro.faults.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    run_campaign,
+    run_trial_block,
+    trial_seed,
+)
+from repro.faults.injector import StrikeEvaluator
+from repro.faults.model import StrikeModel
+from repro.faults.oracle import EffectOracle
+from repro.isa.encoding import ENCODING_BITS
+from repro.isa.opcodes import Opcode
+from repro.pipeline.config import (
+    IssuePolicy,
+    MachineConfig,
+    SquashConfig,
+    Trigger,
+)
+from repro.pipeline.core import PipelineSimulator
+from repro.pipeline.iq import NO_VALUE
+from repro.runtime.context import reset_runtime, use_runtime
+from repro.runtime.engine import shard_trials
+from repro.runtime.telemetry import Telemetry
+from repro.util.rng import DeterministicRng
+from repro.workloads.codegen import synthesize
+from repro.workloads.spec2000 import get_profile
+from tests.helpers import I, program
+
+STATIC_REASONS = {
+    "non-live field",
+    "predicated-false, non-qp/opcode flip",
+    "dead destination value",
+}
+
+
+def _golden_configs():
+    configs = [CampaignConfig(trials=50, seed=77)]
+    configs += [CampaignConfig(trials=50, seed=77, parity=True,
+                               tracking=level) for level in TrackingLevel]
+    configs.append(CampaignConfig(trials=50, seed=77, ecc=True))
+    return configs
+
+
+def _config_id(config):
+    if config.ecc:
+        return "ecc"
+    if config.parity:
+        return config.tracking.name.lower()
+    return "unprotected"
+
+
+def _evaluator(prog, baseline, config, **kwargs):
+    return StrikeEvaluator(
+        prog, baseline, parity=config.parity, tracking=config.tracking,
+        pet_entries=config.pet_entries, ecc=config.ecc, **kwargs)
+
+
+def _scalar_block(prog, baseline, pipeline, config):
+    evaluator = _evaluator(prog, baseline, config)
+    counts, misses = run_trial_block(prog, baseline, pipeline, config,
+                                     0, config.trials, evaluator=evaluator)
+    return counts, misses, evaluator
+
+
+def _batched_block(prog, baseline, pipeline, config, **eval_kwargs):
+    evaluator = _evaluator(prog, baseline, config, **eval_kwargs)
+    batch = draw_strike_batch(pipeline, config, prog.name, 0, config.trials)
+    classifier = BatchClassifier(evaluator, pipeline)
+    counts, misses = run_trial_block(prog, baseline, pipeline, config,
+                                     0, config.trials, evaluator=evaluator,
+                                     strikes=batch, classifier=classifier)
+    return counts, misses, evaluator, classifier
+
+
+class TestGoldenDifferential:
+    """Satellite (a): batched vs scalar, every protection configuration."""
+
+    @pytest.mark.parametrize("config", _golden_configs(), ids=_config_id)
+    def test_batched_matches_scalar(self, config, small_program,
+                                    small_execution, small_pipeline):
+        sc, sm, s_eval = _scalar_block(small_program, small_execution,
+                                       small_pipeline, config)
+        bc, bm, b_eval, classifier = _batched_block(
+            small_program, small_execution, small_pipeline, config)
+        assert bc == sc
+        assert bm == sm
+        # Oracle accounting must be indistinguishable: same memo hits,
+        # static kills, executions, and the same computed entries.
+        assert b_eval.oracle.counters() == s_eval.oracle.counters()
+        assert b_eval.oracle.new_entries() == s_eval.oracle.new_entries()
+        # Derived statistics (rates + binomial CIs) follow.
+        scalar_result = CampaignResult(config=config, counts=Counter(sc),
+                                       tracker_misses=sm)
+        batched_result = CampaignResult(config=config, counts=Counter(bc),
+                                        tracker_misses=bm)
+        assert (batched_result.sdc_avf_estimate
+                == scalar_result.sdc_avf_estimate)
+        assert (batched_result.due_avf_estimate
+                == scalar_result.due_avf_estimate)
+        from repro.due.outcomes import FaultOutcome
+
+        for outcome in FaultOutcome:
+            assert (batched_result.rate_confidence(outcome)
+                    == scalar_result.rate_confidence(outcome))
+        # Every trial is accounted for exactly once by the classifier.
+        stats = classifier.counters()
+        assert stats["batch_trials"] == config.trials
+        survivors = stats["batch_trials"] - stats["batch_vector_kills"]
+        assert (stats["batch_scalar_kills"] + stats["batch_reexecutions"]
+                == survivors)
+
+    @pytest.mark.parametrize("config", [
+        CampaignConfig(trials=50, seed=77, parity=True),
+        CampaignConfig(trials=50, seed=77),
+    ], ids=["parity", "unprotected"])
+    def test_batched_matches_scalar_on_squash_pipeline(
+            self, config, small_program, small_execution, squash_pipeline):
+        """The squash-heavy pipeline exercises the wrong-path/squashed
+        interval kinds the vector pass classifies without the oracle."""
+        sc, sm, s_eval = _scalar_block(small_program, small_execution,
+                                       squash_pipeline, config)
+        bc, bm, b_eval, _ = _batched_block(
+            small_program, small_execution, squash_pipeline, config)
+        assert (bc, bm) == (sc, sm)
+        assert b_eval.oracle.counters() == s_eval.oracle.counters()
+
+    def test_static_filter_off_matches_scalar(self, small_program,
+                                              small_execution,
+                                              small_pipeline):
+        """``--no-static-filter`` composes with batching: both paths
+        re-execute every survivor and still agree."""
+        config = CampaignConfig(trials=40, seed=9, parity=True)
+        unfiltered = _evaluator(small_program, small_execution, config,
+                                static_filter=False)
+        sc, sm = run_trial_block(small_program, small_execution,
+                                 small_pipeline, config, 0, config.trials,
+                                 evaluator=unfiltered)
+        bc, bm, b_eval, _ = _batched_block(
+            small_program, small_execution, small_pipeline, config,
+            static_filter=False)
+        assert (bc, bm) == (sc, sm)
+        assert b_eval.oracle.counters() == unfiltered.oracle.counters()
+        assert b_eval.oracle.static_kills == 0
+
+    def test_run_campaign_batched_vs_no_batch_flag(
+            self, small_program, small_execution, small_pipeline):
+        config = CampaignConfig(trials=60, seed=11, parity=True,
+                                tracking=TrackingLevel.REG_PI)
+        with use_runtime():
+            batched = run_campaign(small_program, small_execution,
+                                   small_pipeline, config)
+        with use_runtime(batch_strikes=False):
+            scalar = run_campaign(small_program, small_execution,
+                                  small_pipeline, config)
+        assert batched.counts == scalar.counts
+        assert batched.tracker_misses == scalar.tracker_misses
+
+    def test_run_campaign_sharded_batched_matches_serial_scalar(
+            self, small_program, small_execution, small_pipeline):
+        config = CampaignConfig(trials=48, seed=21, parity=True)
+        with use_runtime(jobs=3):
+            sharded = run_campaign(small_program, small_execution,
+                                   small_pipeline, config)
+        with use_runtime(batch_strikes=False):
+            scalar = run_campaign(small_program, small_execution,
+                                  small_pipeline, config)
+        assert sharded.counts == scalar.counts
+        assert sharded.tracker_misses == scalar.tracker_misses
+
+    def test_cache_key_does_not_fork(self, tmp_path, small_program,
+                                     small_execution, small_pipeline):
+        """Batched and scalar campaigns share one cache entry: a tally
+        computed batched is served warm to a ``--no-batch-strikes`` run
+        (and the other way round), so results can never diverge by mode."""
+        config = CampaignConfig(trials=30, seed=5, parity=True)
+        with use_runtime(cache_dir=tmp_path) as context:
+            cold = run_campaign(small_program, small_execution,
+                                small_pipeline, config)
+            assert context.telemetry.counters["campaign_trials"] == 30
+        with use_runtime(cache_dir=tmp_path, batch_strikes=False) as context:
+            warm = run_campaign(small_program, small_execution,
+                                small_pipeline, config)
+            # Served entirely from the batched run's cache entry.
+            assert context.telemetry.counters["campaign_trials"] == 0
+            assert context.cache.hits >= 1
+        assert warm.counts == cold.counts
+        assert warm.tracker_misses == cold.tracker_misses
+
+        other = CampaignConfig(trials=30, seed=6, parity=True)
+        with use_runtime(cache_dir=tmp_path, batch_strikes=False) as context:
+            cold2 = run_campaign(small_program, small_execution,
+                                 small_pipeline, other)
+        with use_runtime(cache_dir=tmp_path) as context:
+            warm2 = run_campaign(small_program, small_execution,
+                                 small_pipeline, other)
+            assert context.telemetry.counters["campaign_trials"] == 0
+        assert warm2.counts == cold2.counts
+
+
+class TestSamplerStreamEquivalence:
+    """Satellite (b): the array sampler replays the scalar draw stream."""
+
+    @given(seed=st.integers(min_value=0, max_value=2 ** 16),
+           jobs=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=10, deadline=None)
+    def test_sampler_stream_equivalence(self, seed, jobs, small_program,
+                                        small_pipeline):
+        config = CampaignConfig(trials=36, seed=seed)
+        full = draw_strike_batch(small_pipeline, config,
+                                 small_program.name, 0, config.trials)
+        sampler = StrikeModel(small_pipeline)
+        intervals = small_pipeline.intervals
+        for index, (row, cycle, bit) in enumerate(full.triples()):
+            rng = DeterministicRng(
+                trial_seed(config, small_program.name, index))
+            strike = sampler.sample(rng)
+            assert bit == strike.bit
+            if row == NO_VALUE:
+                assert strike.interval is None
+                assert cycle == 0
+            else:
+                assert strike.interval is intervals[row]
+                assert cycle == strike.cycle
+        # Any --jobs N sharding: a shard's independent draw equals the
+        # corresponding slice of the whole-campaign batch.
+        for block in shard_trials(config.trials, jobs):
+            shard = draw_strike_batch(small_pipeline, config,
+                                      small_program.name,
+                                      block.start, block.stop)
+            assert shard == full.slice(block.start, block.stop)
+
+    @given(seed=st.integers(min_value=0, max_value=2 ** 32),
+           parity=st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_prefix_digest_seeds_match_trial_seed(self, seed, parity):
+        """The batcher's forked-digest seed derivation is byte-for-byte
+        ``trial_seed`` for every trial index."""
+        config = CampaignConfig(trials=10, seed=seed, parity=parity)
+        assert batch_mod._trial_seeds(config, "prog", 3, 13) == [
+            trial_seed(config, "prog", index) for index in range(3, 13)]
+
+    def test_ecc_sees_the_same_strike_stream(self, small_program,
+                                             small_pipeline):
+        """``trial_seed`` excludes ``ecc`` so protected and unprotected
+        campaigns compare the identical strikes; the batcher preserves
+        that."""
+        plain = CampaignConfig(trials=30, seed=4)
+        ecc = CampaignConfig(trials=30, seed=4, ecc=True)
+        assert (draw_strike_batch(small_pipeline, plain,
+                                  small_program.name, 0, 30)
+                == draw_strike_batch(small_pipeline, ecc,
+                                     small_program.name, 0, 30))
+
+
+@pytest.fixture(scope="module")
+def rule_setup():
+    """A tiny program whose trace exercises every static-filter rule
+    (mirrors ``test_oracle.py``): a live value, a dead destination, a
+    predicated-false op, and a live op with a non-live IMM field."""
+    prog = program([
+        I(Opcode.MOVI, r1=1, imm=5),
+        I(Opcode.MOVI, r1=9, imm=3),
+        I(Opcode.CMP_NE, r1=6, r2=1, r3=1),
+        I(Opcode.ADDI, qp=6, r1=2, r2=1, imm=1),
+        I(Opcode.ADD, r1=3, r2=1, r3=1),
+        I(Opcode.OUT, r2=1),
+    ])
+    baseline = FunctionalSimulator(prog).run()
+    assert baseline.clean
+    return prog, baseline
+
+
+class TestMaskSoundness:
+    """Satellite (c): bit-matrix masks == scalar static rules, point by
+    point, over every (instruction, bit) flip."""
+
+    def test_masks_match_classify_static_exhaustively(self, rule_setup):
+        prog, baseline = rule_setup
+        oracle = EffectOracle(prog, baseline)
+        masks = build_kill_masks(baseline, oracle.deadness)
+        assert len(masks) == len(baseline.trace)
+        reasons = set()
+        for seq in range(len(baseline.trace)):
+            for bit in range(ENCODING_BITS):
+                static = oracle.classify_static(seq, bit)
+                assert bool((masks[seq] >> bit) & 1) == (static is not None), \
+                    (seq, bit, static)
+                if static is not None:
+                    reasons.add(static)
+        # The program must actually exercise all three rules, or the
+        # sweep proves less than it claims.
+        assert reasons == STATIC_REASONS
+
+    def test_masks_match_on_session_workload_stride(self, small_program,
+                                                    small_execution):
+        """Beyond hand-built corners: strided sweep of the real trace."""
+        oracle = EffectOracle(small_program, small_execution)
+        masks = build_kill_masks(small_execution, oracle.deadness)
+        checked = killed = 0
+        for seq in range(0, len(small_execution.trace), 97):
+            for bit in range(ENCODING_BITS):
+                static = oracle.classify_static(seq, bit)
+                assert bool((masks[seq] >> bit) & 1) == (static is not None)
+                checked += 1
+                killed += static is not None
+        assert checked > 0 and killed > 0
+
+    def test_kill_matrix_mirrors_mask_bits(self, rule_setup):
+        if batch_mod._np is None:
+            pytest.skip("NumPy not available")
+        prog, baseline = rule_setup
+        masks = build_kill_masks(baseline, EffectOracle(prog,
+                                                        baseline).deadness)
+        matrix = kill_matrix(masks)
+        assert matrix.shape == (len(masks), ENCODING_BITS)
+        for seq, mask in enumerate(masks):
+            for bit in range(ENCODING_BITS):
+                assert bool(matrix[seq, bit]) == bool((mask >> bit) & 1)
+
+
+class TestFallbackParity:
+    """Satellite (d): the pure-Python path is exercised and identical."""
+
+    @pytest.mark.parametrize("config", [
+        CampaignConfig(trials=40, seed=13, parity=True,
+                       tracking=TrackingLevel.PI_COMMIT),
+        CampaignConfig(trials=40, seed=13, ecc=True),
+        CampaignConfig(trials=40, seed=13),
+    ], ids=["pi_commit", "ecc", "unprotected"])
+    def test_python_fallback_matches_numpy(self, monkeypatch, config,
+                                           small_program, small_execution,
+                                           small_pipeline):
+        with_np = _batched_block(small_program, small_execution,
+                                 small_pipeline, config)
+        numpy_batch = draw_strike_batch(small_pipeline, config,
+                                        small_program.name, 0,
+                                        config.trials)
+        monkeypatch.setattr(batch_mod, "_np", None)
+        fallback_batch = draw_strike_batch(small_pipeline, config,
+                                           small_program.name, 0,
+                                           config.trials)
+        assert fallback_batch == numpy_batch
+        without_np = _batched_block(small_program, small_execution,
+                                    small_pipeline, config)
+        assert without_np[0] == with_np[0]
+        assert without_np[1] == with_np[1]
+        assert (without_np[2].oracle.counters()
+                == with_np[2].oracle.counters())
+        assert without_np[3].counters() == with_np[3].counters()
+
+    def test_run_campaign_under_fallback(self, monkeypatch, small_program,
+                                         small_execution, small_pipeline):
+        config = CampaignConfig(trials=30, seed=2, parity=True)
+        with use_runtime():
+            with_np = run_campaign(small_program, small_execution,
+                                   small_pipeline, config)
+        monkeypatch.setattr(batch_mod, "_np", None)
+        with use_runtime():
+            without_np = run_campaign(small_program, small_execution,
+                                      small_pipeline, config)
+        assert without_np.counts == with_np.counts
+        assert without_np.tracker_misses == with_np.tracker_misses
+
+
+class TestStrikeBatch:
+    def test_len_slice_and_equality(self, small_program, small_pipeline):
+        config = CampaignConfig(trials=20, seed=1)
+        batch = draw_strike_batch(small_pipeline, config,
+                                  small_program.name, 0, 20)
+        assert len(batch) == 20
+        part = batch.slice(5, 12)
+        assert (part.start, part.stop, len(part)) == (5, 12, 7)
+        assert part.triples() == batch.triples()[5:12]
+        assert part == batch.slice(5, 12)
+        assert part != batch
+        assert batch.slice(0, 20) == batch
+
+    def test_slice_outside_range_rejected(self, small_program,
+                                          small_pipeline):
+        config = CampaignConfig(trials=10, seed=1)
+        batch = draw_strike_batch(small_pipeline, config,
+                                  small_program.name, 2, 8)
+        with pytest.raises(ValueError):
+            batch.slice(0, 5)
+        with pytest.raises(ValueError):
+            batch.slice(5, 9)
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError):
+            StrikeBatch(0, 2, [1], [0, 0], [3, 4])
+
+    def test_degenerate_pipeline_raises_like_strike_model(
+            self, small_program, small_pipeline):
+        from dataclasses import replace
+
+        empty = replace(small_pipeline, cycles=0, intervals=[])
+        config = CampaignConfig(trials=5, seed=1)
+        with pytest.raises(ValueError, match="empty entry-cycle space"):
+            draw_strike_batch(empty, config, small_program.name, 0, 5)
+        with pytest.raises(ValueError, match="empty entry-cycle space"):
+            StrikeModel(empty)
+
+
+class TestTelemetryAndFlags:
+    def test_campaign_ticks_batch_counters(self, small_program,
+                                           small_execution, small_pipeline):
+        with use_runtime() as context:
+            run_campaign(small_program, small_execution, small_pipeline,
+                         CampaignConfig(trials=40, seed=3))
+            counters = context.telemetry.counters
+            summary = context.telemetry.format_summary()
+        assert counters["batch_trials"] == 40
+        assert (counters["batch_vector_kills"]
+                + counters["batch_scalar_kills"]
+                + counters["batch_reexecutions"]) == 40
+        assert "batch:" in summary
+
+    def test_no_batch_leaves_counters_silent(self, small_program,
+                                             small_execution,
+                                             small_pipeline):
+        with use_runtime(batch_strikes=False) as context:
+            run_campaign(small_program, small_execution, small_pipeline,
+                         CampaignConfig(trials=20, seed=3))
+            assert context.telemetry.counters["batch_trials"] == 0
+            assert "batch:" not in context.telemetry.format_summary()
+
+    def test_batch_line_format(self):
+        telemetry = Telemetry()
+        telemetry.merge_counters({"batch_trials": 10,
+                                  "batch_vector_kills": 7,
+                                  "batch_scalar_kills": 2,
+                                  "batch_reexecutions": 1})
+        assert ("batch: 7 vector kills, 2 scalar kills, 1 re-executions "
+                "over 10 trials") in telemetry.format_summary()
+
+    def test_parser_flag_default_and_toggle(self):
+        assert not build_parser().parse_args(["figure1"]).no_batch_strikes
+        assert build_parser().parse_args(
+            ["figure1", "--no-batch-strikes"]).no_batch_strikes
+
+    def test_main_with_no_batch_strikes(self, capsys):
+        try:
+            assert main(["figure1", "--instructions", "6000",
+                         "--trials", "20", "--no-batch-strikes"]) == 0
+            out = capsys.readouterr().out
+            assert "unprotected" in out
+            assert "batch:" not in out
+        finally:
+            reset_runtime()
+
+
+@pytest.mark.xfail(
+    strict=False,
+    reason="mcf-181 OOO+L0 baseline pathology (ROADMAP open item): the "
+           "scheduler window fills with miss-dependent loads, the L0 "
+           "trigger fires on nearly every issue group, and the baseline "
+           "exceeds the 30M-cycle budget; needs a machine-model fix")
+def test_mcf_ooo_l0_baseline_completes():
+    """Pinned target for the future machine-model fix: the mcf profile
+    under OOO_WINDOW issue with the L0-miss squash trigger must finish
+    within the default 30M-cycle budget."""
+    profile = get_profile("mcf")
+    prog = synthesize(profile, target_instructions=24_000, seed=2004)
+    baseline = FunctionalSimulator(prog).run()
+    assert baseline.clean
+    machine = MachineConfig(
+        fetch_bubble_prob=profile.fetch_bubble_prob,
+        issue_policy=IssuePolicy.OOO_WINDOW,
+        squash=SquashConfig(trigger=Trigger.L0_MISS))
+    result = PipelineSimulator(prog, baseline.trace, machine,
+                               seed=2004).run()
+    assert result.cycles <= machine.max_cycles
