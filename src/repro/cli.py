@@ -30,6 +30,7 @@ into the runtime itself to prove those recovery paths.
 from __future__ import annotations
 
 import argparse
+import os
 import signal
 import sys
 import time
@@ -123,8 +124,9 @@ def build_parser() -> argparse.ArgumentParser:
         "exhibit",
         choices=["table1", "table2", "occupancy", "figure1", "figure2",
                  "figure3", "figure4", "ablations", "regfile",
-                 "characterize", "report", "all"],
-        help="which exhibit to regenerate ('all' runs every paper exhibit)")
+                 "characterize", "report", "serve", "all"],
+        help="which exhibit to regenerate ('all' runs every paper "
+             "exhibit; 'serve' starts the AVF query service instead)")
     parser.add_argument(
         "--benchmark", default="crafty",
         help="benchmark name for the 'report' dossier (default crafty)")
@@ -190,10 +192,61 @@ def build_parser() -> argparse.ArgumentParser:
              "instead of as vectorised arrays (slower; tallies and "
              "cache keys are bit-identical either way)")
     parser.add_argument(
+        "--service", default=os.environ.get("REPRO_SERVICE") or None,
+        metavar="HOST:PORT",
+        help="running 'repro serve' instance to use as a fleet-wide "
+             "timeline store: timing entries are fetched from it before "
+             "simulating and written through after (default: "
+             "$REPRO_SERVICE; service failures degrade to local compute)")
+    parser.add_argument(
+        "--host", default=None,
+        help="serve: listen address (default $REPRO_SERVE_HOST or "
+             "127.0.0.1)")
+    parser.add_argument(
+        "--port", type=int, default=None,
+        help="serve: listen port, 0 picks a free one (default "
+             "$REPRO_SERVE_PORT or 8787)")
+    parser.add_argument(
+        "--lru-entries", type=int, default=None,
+        help="serve: answered-key LRU capacity (default $REPRO_SERVE_LRU "
+             "or 256)")
+    parser.add_argument(
+        "--compute-workers", type=int, default=None,
+        help="serve: engine threads draining cold keys (default "
+             "$REPRO_SERVE_WORKERS or 1; each computation still fans out "
+             "over --jobs worker processes)")
+    parser.add_argument(
         "--verbose", action="store_true",
         help="extended telemetry footer: oracle fast-path breakdown, "
              "warmed-hierarchy reuse, and raw counters")
     return parser
+
+
+def _run_server(args, runtime) -> int:
+    """``repro serve``: run the AVF query service until interrupted.
+
+    The service answers over the *active* runtime context, so ``--jobs``,
+    ``--cache-dir``, ``--retries`` and friends shape every cold
+    computation exactly as they would a CLI exhibit run.
+    """
+    from repro.serve.server import ServeConfig, serve_forever
+
+    try:
+        config = ServeConfig.from_env(host=args.host, port=args.port,
+                                      lru_entries=args.lru_entries,
+                                      compute_workers=args.compute_workers)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def announce(message: str) -> None:
+        print(message, flush=True)
+
+    serve_forever(config, announce)
+    print(runtime.telemetry.format_summary(cache=runtime.cache,
+                                           jobs=runtime.jobs,
+                                           verbose=args.verbose))
+    return 0
 
 
 def _install_sigterm_handler() -> None:
@@ -234,11 +287,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                             resume=args.resume, chaos=chaos,
                             static_filter=not args.no_static_filter,
                             interval_kernel=not args.no_interval_kernel,
-                            batch_strikes=not args.no_batch_strikes)
+                            batch_strikes=not args.no_batch_strikes,
+                            service=args.service)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     _install_sigterm_handler()
+    if args.exhibit == "serve":
+        return _run_server(args, runtime)
     runners = _exhibit_runners(args)
     if args.exhibit == "all":
         names = ["table1", "table2", "occupancy", "figure1", "figure2",

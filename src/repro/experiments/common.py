@@ -62,12 +62,44 @@ class BenchmarkRun:
 
 _functional_cache: Dict[Tuple, Tuple] = {}
 _run_cache: Dict[Tuple, BenchmarkRun] = {}
+#: Open connections to remote timeline services, one per address.
+_remote_stores: Dict[str, object] = {}
 
 
 def clear_caches() -> None:
     """Drop memoised functional and timing results (mainly for tests)."""
     _functional_cache.clear()
     _run_cache.clear()
+
+
+def close_remote_stores() -> None:
+    """Drop open service-store connections (tests / server restarts)."""
+    for store in _remote_stores.values():
+        store.close()
+    _remote_stores.clear()
+
+
+def _remote_store():
+    """The timeline-store client for the context's service, if any.
+
+    Connections are pooled per address and lazy: nothing is opened until
+    a timing entry is actually fetched or written. All failures inside
+    the returned store degrade to misses/dropped puts (see
+    :class:`repro.serve.client.RemoteStore`), preserving the cache
+    layer's never-take-a-run-down policy.
+    """
+    address = get_runtime().service
+    if address is None:
+        return None
+    store = _remote_stores.get(address)
+    if store is None:
+        # Local import: the experiments package must stay importable
+        # without the serving stack.
+        from repro.serve.client import RemoteStore
+
+        store = RemoteStore(address)
+        _remote_stores[address] = store
+    return store
 
 
 def _functional_key(profile: BenchmarkProfile,
@@ -148,13 +180,29 @@ def run_benchmark(
     if key in _run_cache:
         return _run_cache[key]
     runtime = get_runtime()
+    remote = _remote_store()
     disk_key = None
-    if runtime.cache is not None:
+    if runtime.cache is not None or remote is not None:
         disk_key = cache_key("run", profile, settings.target_instructions,
                              settings.seed, machine)
+    # Timing-entry lookup order: local persistent store, then the remote
+    # service store (a remote hit is written through locally so the next
+    # run in this environment answers without network traffic).
+    cached = MISS
+    if runtime.cache is not None:
         cached = runtime.cache.get(disk_key)
-        if cached is not MISS:
+    if cached is MISS and remote is not None:
+        cached = remote.get(disk_key)
+        if cached is not MISS and runtime.cache is not None:
+            runtime.cache.put(disk_key, cached)
+    if cached is not MISS:
+        try:
             pipeline, report = cached
+        except (TypeError, ValueError):
+            # Wrong-shape entry (whichever store produced it): degrade
+            # to a recompute; the puts below overwrite it.
+            runtime.telemetry.increment("cache_corrupt_entries")
+        else:
             runtime.telemetry.increment("timeline_store_hits")
             program, execution, deadness = functional_parts(profile, settings)
             run = BenchmarkRun(profile=profile, program=program,
@@ -171,7 +219,10 @@ def run_benchmark(
                        deadness=deadness, pipeline=pipeline, report=report)
     _run_cache[key] = run
     if disk_key is not None:
-        runtime.cache.put(disk_key, (pipeline, report))
+        if runtime.cache is not None:
+            runtime.cache.put(disk_key, (pipeline, report))
+        if remote is not None:
+            remote.put(disk_key, (pipeline, report))
     return run
 
 

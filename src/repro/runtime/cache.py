@@ -167,9 +167,12 @@ class ResultCache:
             return MISS
         except Exception:
             # Corrupt, truncated, or unpicklable entry: treat as a miss;
-            # the recompute will overwrite it.
+            # the recompute will overwrite it. The degradation is counted
+            # on the active telemetry (not just ``self.errors``) so a
+            # serving process notices a store that is silently rotting.
             self.errors += 1
             self.misses += 1
+            self._count_corrupt_entry()
             return MISS
         self.hits += 1
         return value
@@ -207,6 +210,20 @@ class ResultCache:
             return False
         self.puts += 1
         return True
+
+    @staticmethod
+    def _count_corrupt_entry() -> None:
+        """Tick ``cache_corrupt_entries`` on the active telemetry.
+
+        Deferred import (context imports this module) and best-effort:
+        the never-take-a-run-down policy covers the counting itself.
+        """
+        try:
+            from repro.runtime.context import get_runtime
+
+            get_runtime().telemetry.increment("cache_corrupt_entries")
+        except Exception:
+            pass
 
     @staticmethod
     def _fsync_dir(directory: Path) -> None:

@@ -50,6 +50,12 @@ class RuntimeContext:
     #: (``--no-batch-strikes`` selects per-trial sampling; tallies,
     #: cache keys, and oracle counters are bit-identical either way).
     batch_strikes: bool = True
+    #: ``host:port`` of a running ``repro serve`` instance to use as the
+    #: fleet-wide timeline store (``--service`` / ``REPRO_SERVICE``).
+    #: Timing entries missing locally are fetched from it and computed
+    #: results are written through; any service failure degrades to a
+    #: local compute, never an error.
+    service: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -96,6 +102,7 @@ def configure(
     static_filter: bool = True,
     interval_kernel: bool = True,
     batch_strikes: bool = True,
+    service: Optional[str] = None,
 ) -> RuntimeContext:
     """Build and install a context from CLI-style knobs.
 
@@ -117,7 +124,8 @@ def configure(
         checkpoint_dir=None if checkpoint_dir is None
         else Path(checkpoint_dir),
         resume=resume, static_filter=static_filter,
-        interval_kernel=interval_kernel, batch_strikes=batch_strikes))
+        interval_kernel=interval_kernel, batch_strikes=batch_strikes,
+        service=service))
 
 
 @contextmanager
@@ -134,6 +142,7 @@ def use_runtime(
     static_filter: bool = True,
     interval_kernel: bool = True,
     batch_strikes: bool = True,
+    service: Optional[str] = None,
 ) -> Iterator[RuntimeContext]:
     """Scoped context install; restores the previous context on exit."""
     if cache is None and cache_dir is not None and not no_cache:
@@ -148,7 +157,8 @@ def use_runtime(
                              resume=resume,
                              static_filter=static_filter,
                              interval_kernel=interval_kernel,
-                             batch_strikes=batch_strikes)
+                             batch_strikes=batch_strikes,
+                             service=service)
     previous = get_runtime()
     set_runtime(context)
     try:

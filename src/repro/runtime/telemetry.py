@@ -98,7 +98,9 @@ class Telemetry:
         if cache is not None or hits or misses:
             total = hits + misses
             rate = f" ({hits / total:.0%} hit rate)" if total else ""
-            parts.append(f"cache: {hits} hits, {misses} misses{rate}")
+            corrupt = self.counters["cache_corrupt_entries"]
+            detail = f", {corrupt} corrupt" if corrupt else ""
+            parts.append(f"cache: {hits} hits, {misses} misses{rate}{detail}")
         else:
             parts.append("cache: off")
         oracle = self._format_oracle()
@@ -107,6 +109,12 @@ class Telemetry:
         batch = self._format_batch()
         if batch:
             parts.append(batch)
+        serve = self._format_serve()
+        if serve:
+            parts.append(serve)
+        remote = self._format_remote_store()
+        if remote:
+            parts.append(remote)
         resilience = self._format_resilience()
         if resilience:
             parts.append(resilience)
@@ -167,6 +175,40 @@ class Telemetry:
                 f"{c['batch_scalar_kills']} scalar kills, "
                 f"{c['batch_reexecutions']} re-executions "
                 f"over {total} trials")
+
+    def _format_serve(self) -> str:
+        """Query-service account, empty when no requests were served."""
+        c = self.counters
+        total = c["serve_requests"]
+        if not total:
+            return ""
+        text = (f"serve: {total} requests ({c['serve_warm_hits']} warm, "
+                f"{c['serve_cold_computes']} cold, "
+                f"{c['serve_coalesced']} coalesced)")
+        detail = []
+        if c["serve_lru_evictions"]:
+            detail.append(f"{c['serve_lru_evictions']} evicted")
+        if c["serve_errors"]:
+            detail.append(f"{c['serve_errors']} errors")
+        if c["serve_store_hits"] or c["serve_store_puts"]:
+            detail.append(f"store {c['serve_store_hits']} gets, "
+                          f"{c['serve_store_puts']} puts")
+        if detail:
+            text += f" [{', '.join(detail)}]"
+        return text
+
+    def _format_remote_store(self) -> str:
+        """Service-store client account, empty when no service was used."""
+        c = self.counters
+        if not (c["remote_store_hits"] or c["remote_store_misses"]
+                or c["remote_store_puts"] or c["remote_store_errors"]):
+            return ""
+        text = (f"service store: {c['remote_store_hits']} hits, "
+                f"{c['remote_store_misses']} misses, "
+                f"{c['remote_store_puts']} puts")
+        if c["remote_store_errors"]:
+            text += f", {c['remote_store_errors']} errors"
+        return text
 
     def _format_resilience(self) -> str:
         """Retry/quarantine account, empty when the run was failure-free."""

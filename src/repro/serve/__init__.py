@@ -1,0 +1,38 @@
+"""AVF-as-a-service: an async query layer over the runtime's stores.
+
+The serving stack has three pieces:
+
+* :mod:`repro.serve.protocol` — the newline-delimited-JSON wire format:
+  request validation, canonical query keys, and the result encoders whose
+  output is byte-identical to encoding a direct engine call;
+* :mod:`repro.serve.server` — the :class:`AvfServer` asyncio service:
+  warm keys answered from a bounded LRU in microseconds, cold keys
+  deduplicated/coalesced onto exactly one computation on the supervised
+  engine and streamed back on completion;
+* :mod:`repro.serve.client` — synchronous and asyncio clients, plus the
+  failure-tolerant :class:`RemoteStore` that lets the experiment plumbing
+  fetch/put timeline entries through a running service.
+"""
+
+from repro.serve.client import AsyncServeClient, RemoteStore, ServeClient
+from repro.serve.protocol import (
+    ProtocolError,
+    canonical_dumps,
+    encode_benchmark,
+    encode_campaign,
+    parse_query,
+)
+from repro.serve.server import AvfServer, ServeConfig
+
+__all__ = [
+    "AsyncServeClient",
+    "AvfServer",
+    "ProtocolError",
+    "RemoteStore",
+    "ServeClient",
+    "ServeConfig",
+    "canonical_dumps",
+    "encode_benchmark",
+    "encode_campaign",
+    "parse_query",
+]

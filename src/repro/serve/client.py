@@ -1,0 +1,262 @@
+"""Clients for the AVF query service.
+
+* :class:`ServeClient` — a small blocking client (plain socket, one
+  request at a time) for scripts, tests, and the remote store;
+* :class:`AsyncServeClient` — an asyncio client that multiplexes many
+  concurrent requests over one connection by request id (the load
+  harness drives thousands of in-flight queries through a handful of
+  connections this way);
+* :class:`RemoteStore` — the failure-tolerant ``store.get``/``store.put``
+  wrapper the experiment plumbing uses as a fleet-wide timeline store.
+  Its failure policy mirrors the on-disk cache's: the service must never
+  take a run down, so connection failures and server-side errors count
+  and degrade to misses / dropped puts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import itertools
+import json
+import pickle
+import socket
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.runtime.cache import MISS
+from repro.serve.protocol import MAX_LINE_BYTES, canonical_dumps
+
+
+class ServeError(Exception):
+    """A structured error answer from the server."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """``host:port`` → ``(host, port)`` with a clear failure mode."""
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"service address must be host:port, "
+                         f"got {address!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(f"service port must be an integer, got {port!r}")
+
+
+class ServeClient:
+    """Blocking single-request client over one persistent connection."""
+
+    def __init__(self, address: str, timeout: float = 300.0) -> None:
+        self.host, self.port = parse_address(address)
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._ids = itertools.count(1)
+
+    def _connect(self) -> None:
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=self.timeout)
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request; return its final ``result`` line.
+
+        ``accepted`` progress lines are consumed silently; an ``error``
+        line raises :class:`ServeError`. One transparent reconnect covers
+        a connection that went stale between calls.
+        """
+        request = dict(payload)
+        request_id = next(self._ids)
+        request["id"] = request_id
+        line = (canonical_dumps(request) + "\n").encode()
+        for attempt in (0, 1):
+            if self._file is None:
+                self._connect()
+            try:
+                self._file.write(line)
+                self._file.flush()
+                return self._read_final(request_id)
+            except (ConnectionError, OSError, EOFError):
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    def _read_final(self, request_id: int) -> Dict[str, Any]:
+        while True:
+            raw = self._file.readline()
+            if not raw:
+                raise EOFError("server closed the connection")
+            response = json.loads(raw)
+            if response.get("id") != request_id:
+                continue  # a stale line from an abandoned request
+            event = response.get("event")
+            if event == "accepted":
+                continue
+            if event == "error":
+                error = response.get("error") or {}
+                raise ServeError(error.get("code", "unknown"),
+                                 error.get("message", ""))
+            return response
+
+
+class AsyncServeClient:
+    """Multiplexing asyncio client: many in-flight requests, one socket."""
+
+    def __init__(self) -> None:
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pending: Dict[int, asyncio.Queue] = {}
+        self._ids = itertools.count(1)
+        self._pump: Optional[asyncio.Task] = None
+        self._write_lock = asyncio.Lock()
+
+    async def connect(self, host: str, port: int) -> "AsyncServeClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            host, port, limit=MAX_LINE_BYTES)
+        self._pump = asyncio.ensure_future(self._pump_responses())
+        return self
+
+    async def close(self) -> None:
+        if self._pump is not None:
+            self._pump.cancel()
+            try:
+                await self._pump
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._pump = None
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+
+    async def _pump_responses(self) -> None:
+        assert self._reader is not None
+        while True:
+            raw = await self._reader.readline()
+            if not raw:
+                break
+            try:
+                response = json.loads(raw)
+            except json.JSONDecodeError:
+                continue
+            queue = self._pending.get(response.get("id"))
+            if queue is not None:
+                queue.put_nowait(response)
+        # Connection gone: fail every waiter.
+        for queue in self._pending.values():
+            queue.put_nowait(None)
+
+    async def request(self, payload: Dict[str, Any],
+                      collect_events: Optional[List[Dict[str, Any]]] = None
+                      ) -> Dict[str, Any]:
+        """Send one request; return the final line (raises on error)."""
+        assert self._writer is not None, "not connected"
+        request = dict(payload)
+        request_id = next(self._ids)
+        request["id"] = request_id
+        queue: asyncio.Queue = asyncio.Queue()
+        self._pending[request_id] = queue
+        try:
+            async with self._write_lock:
+                self._writer.write((canonical_dumps(request) + "\n")
+                                   .encode())
+                await self._writer.drain()
+            while True:
+                response = await queue.get()
+                if response is None:
+                    raise ConnectionError("server connection closed")
+                if collect_events is not None:
+                    collect_events.append(response)
+                event = response.get("event")
+                if event == "accepted":
+                    continue
+                if event == "error":
+                    error = response.get("error") or {}
+                    raise ServeError(error.get("code", "unknown"),
+                                     error.get("message", ""))
+                return response
+        finally:
+            self._pending.pop(request_id, None)
+
+
+class RemoteStore:
+    """Timeline-store client with the cache's never-fail degradation.
+
+    ``get`` returns :data:`repro.runtime.cache.MISS` on anything but a
+    clean hit; ``put`` returns False instead of raising. Both tick the
+    active telemetry (``remote_store_hits`` / ``_misses`` / ``_puts`` /
+    ``_errors``) so the summary footer accounts for service traffic.
+    """
+
+    def __init__(self, address: str, timeout: float = 60.0) -> None:
+        self.address = address
+        self._client = ServeClient(address, timeout=timeout)
+
+    def close(self) -> None:
+        self._client.close()
+
+    @staticmethod
+    def _telemetry():
+        from repro.runtime.context import get_runtime
+
+        return get_runtime().telemetry
+
+    def get(self, key: str) -> Any:
+        try:
+            response = self._client.request({"op": "store.get", "key": key})
+        except Exception:
+            self._telemetry().increment("remote_store_errors")
+            return MISS
+        if not response.get("found"):
+            self._telemetry().increment("remote_store_misses")
+            return MISS
+        try:
+            value = pickle.loads(base64.b64decode(response["value_b64"]))
+        except Exception:
+            self._telemetry().increment("remote_store_errors")
+            return MISS
+        self._telemetry().increment("remote_store_hits")
+        return value
+
+    def put(self, key: str, value: Any) -> bool:
+        try:
+            encoded = base64.b64encode(
+                pickle.dumps(value,
+                             protocol=pickle.HIGHEST_PROTOCOL)).decode()
+            response = self._client.request(
+                {"op": "store.put", "key": key, "value_b64": encoded})
+        except Exception:
+            self._telemetry().increment("remote_store_errors")
+            return False
+        self._telemetry().increment("remote_store_puts")
+        return bool(response.get("stored"))

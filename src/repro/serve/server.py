@@ -1,0 +1,458 @@
+"""The AVF query server.
+
+One asyncio process answers AVF/MITF/false-DUE queries for arbitrary
+``(profile, MachineConfig, tracking, campaign)`` tuples:
+
+* **warm** keys come straight from a bounded in-memory LRU (mirroring the
+  pipeline's ``_WARM_SNAPSHOTS`` discipline: a hit refreshes the entry,
+  inserting past the cap evicts the least-recently-used answer) — no
+  engine work, microsecond turnaround;
+* **cold** keys are *coalesced*: the first request for a key creates one
+  in-flight computation on the supervised engine (``run_benchmark`` /
+  ``run_campaign`` under the process's runtime context, in a worker
+  thread so the event loop stays responsive) and every concurrent request
+  for the same key awaits that single future — N clients, one simulation;
+* the engine's own layers stack underneath: the in-process memos, the
+  content-addressed result cache, and the persistent timeline store all
+  apply, so even an LRU-evicted key usually re-resolves without
+  simulating.
+
+The server also exposes the result cache as a remote ``store.get`` /
+``store.put`` endpoint, which is what lets CI runs and long campaigns on
+other machines share one fleet-wide timeline store
+(:class:`repro.serve.client.RemoteStore` is the client side). Store
+values are pickles (base64 over the wire) — the service is a trusted
+lab-internal component, same trust model as the on-disk cache.
+
+Every request ticks both the server's own :attr:`AvfServer.stats`
+counters (authoritative, queryable via the ``stats`` op) and the runtime
+telemetry, so ``repro serve`` prints the standard footer on shutdown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import os
+import pickle
+from collections import Counter, OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.runtime.cache import MISS
+from repro.runtime.context import get_runtime
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    Query,
+    canonical_dumps,
+    encode_benchmark,
+    encode_campaign,
+    parse_line,
+    parse_query,
+    validate_store_key,
+)
+
+#: Default knobs (each has a ``REPRO_SERVE_*`` environment twin).
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8787
+DEFAULT_LRU_ENTRIES = 256
+DEFAULT_COMPUTE_WORKERS = 1
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer (got {raw!r})")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """How one :class:`AvfServer` listens and bounds its memory."""
+
+    host: str = DEFAULT_HOST
+    port: int = DEFAULT_PORT
+    #: Answered-key LRU capacity; 0 disables warm serving entirely.
+    lru_entries: int = DEFAULT_LRU_ENTRIES
+    #: Engine threads draining cold keys. The default of 1 serialises
+    #: simulations (the engine's in-process memos are not contended);
+    #: the engine itself still fans each computation out over the
+    #: runtime context's ``jobs`` worker processes.
+    compute_workers: int = DEFAULT_COMPUTE_WORKERS
+
+    def __post_init__(self) -> None:
+        if self.lru_entries < 0:
+            raise ValueError("lru_entries must be >= 0")
+        if self.compute_workers < 1:
+            raise ValueError("compute_workers must be >= 1")
+
+    @classmethod
+    def from_env(cls, **overrides: Any) -> "ServeConfig":
+        """Defaults from ``REPRO_SERVE_*`` knobs, then explicit overrides."""
+        values = {
+            "host": os.environ.get("REPRO_SERVE_HOST", DEFAULT_HOST),
+            "port": _env_int("REPRO_SERVE_PORT", DEFAULT_PORT),
+            "lru_entries": _env_int("REPRO_SERVE_LRU", DEFAULT_LRU_ENTRIES),
+            "compute_workers": _env_int("REPRO_SERVE_WORKERS",
+                                        DEFAULT_COMPUTE_WORKERS),
+        }
+        values.update({k: v for k, v in overrides.items() if v is not None})
+        return cls(**values)
+
+
+def resolve_query(query: Query) -> Dict[str, Any]:
+    """Answer one query on the engine (the default cold-path resolver).
+
+    Runs in a compute thread. Goes through the exact entry points a
+    direct caller would use, so a served answer is the same object graph
+    a local ``run_benchmark``/``run_campaign`` call produces — the
+    encoders then guarantee byte-identical payloads.
+    """
+    from repro.experiments.common import ExperimentSettings, run_benchmark
+    from repro.faults.campaign import run_campaign
+    from repro.workloads.spec2000 import get_profile
+
+    settings = ExperimentSettings(
+        target_instructions=query.target_instructions, seed=query.seed)
+    run = run_benchmark(get_profile(query.profile_name), settings,
+                        machine=query.machine)
+    if query.op == "avf":
+        return encode_benchmark(run)
+    result = run_campaign(run.program, run.execution, run.pipeline,
+                          query.campaign)
+    return encode_campaign(result)
+
+
+class AvfServer:
+    """Asyncio NDJSON query server over the runtime's stores."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        resolver: Optional[Callable[[Query], Dict[str, Any]]] = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.resolver = resolver or resolve_query
+        self.stats: Counter = Counter()
+        self._lru: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._connections: set = set()
+        self.port: Optional[int] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and begin accepting connections (port 0 picks a free one)."""
+        self._stopped = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.compute_workers,
+            thread_name_prefix="repro-serve")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port,
+            limit=MAX_LINE_BYTES)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Drain (or cancel) connection handlers so loop teardown never
+        # finds them mid-await.
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+            self._connections.clear()
+        for future in list(self._inflight.values()):
+            if not future.done():
+                future.cancel()
+        self._inflight.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def wait_stopped(self) -> None:
+        """Block until :meth:`stop` (or a ``shutdown`` request) completes."""
+        assert self._stopped is not None, "server was never started"
+        await self._stopped.wait()
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        """One client: read request lines, answer each in its own task.
+
+        Per-request tasks let a connection pipeline: a warm query behind
+        a cold one answers immediately. A write lock keeps response lines
+        atomic. A client that disconnects mid-stream only breaks its own
+        writes — in-flight computations it triggered run to completion
+        (and land in the LRU for the next asker).
+        """
+        lock = asyncio.Lock()
+        tasks = []
+        me = asyncio.current_task()
+        if me is not None:
+            self._connections.add(me)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                except ValueError:
+                    # Line past MAX_LINE_BYTES: the stream is desynced,
+                    # so answer structurally and drop the connection.
+                    self.stats["serve_errors"] += 1
+                    get_runtime().telemetry.increment("serve_errors")
+                    await self._send(writer, lock, {
+                        "id": None, "event": "error", "ok": False,
+                        "error": {"code": "line-too-long",
+                                  "message": "request line exceeds "
+                                             f"{MAX_LINE_BYTES} bytes"}})
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                tasks.append(asyncio.ensure_future(
+                    self._handle_line(line, writer, lock)))
+        except asyncio.CancelledError:
+            pass  # server stopping: fall through to cleanup
+        finally:
+            self._connections.discard(me)
+            if tasks:
+                for task in tasks:
+                    task.cancel()
+                await asyncio.gather(*tasks, return_exceptions=True)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter, lock: asyncio.Lock,
+                    payload: Dict[str, Any]) -> bool:
+        """Write one response line; a dead client is not an error."""
+        data = (canonical_dumps(payload) + "\n").encode()
+        try:
+            async with lock:
+                writer.write(data)
+                await writer.drain()
+        except (ConnectionError, OSError, RuntimeError):
+            self.stats["serve_client_disconnects"] += 1
+            return False
+        return True
+
+    async def _handle_line(self, line: bytes, writer: asyncio.StreamWriter,
+                           lock: asyncio.Lock) -> None:
+        request_id = None
+        telemetry = get_runtime().telemetry
+        self.stats["serve_requests"] += 1
+        telemetry.increment("serve_requests")
+        try:
+            request = parse_line(line)
+            request_id = request.get("id")
+            op = request.get("op")
+            if op in ("avf", "campaign"):
+                await self._handle_query(request, request_id, writer, lock)
+            elif op == "ping":
+                await self._send(writer, lock, {
+                    "id": request_id, "event": "result", "ok": True,
+                    "status": "warm", "value": "pong"})
+            elif op == "stats":
+                await self._handle_stats(request_id, writer, lock)
+            elif op == "store.get":
+                await self._handle_store_get(request, request_id, writer,
+                                             lock)
+            elif op == "store.put":
+                await self._handle_store_put(request, request_id, writer,
+                                             lock)
+            elif op == "shutdown":
+                await self._send(writer, lock, {
+                    "id": request_id, "event": "result", "ok": True,
+                    "status": "warm", "value": "stopping"})
+                asyncio.ensure_future(self.stop())
+            else:
+                raise ProtocolError(
+                    "unknown-op", f"unknown op {op!r}; this server speaks "
+                    "avf, campaign, ping, stats, store.get, store.put, "
+                    "shutdown")
+        except ProtocolError as exc:
+            self.stats["serve_errors"] += 1
+            telemetry.increment("serve_errors")
+            await self._send(writer, lock, {
+                "id": request_id, "event": "error", "ok": False,
+                "error": exc.payload()})
+
+    # -- the query path: LRU, coalescing, compute ---------------------------
+
+    async def _handle_query(self, request: Dict[str, Any], request_id,
+                            writer: asyncio.StreamWriter,
+                            lock: asyncio.Lock) -> None:
+        telemetry = get_runtime().telemetry
+        query = parse_query(request)
+        key = query.key
+        cached = self._lru.get(key)
+        if cached is not None:
+            self._lru.move_to_end(key)
+            self.stats["serve_warm_hits"] += 1
+            telemetry.increment("serve_warm_hits")
+            await self._send(writer, lock, {
+                "id": request_id, "event": "result", "ok": True,
+                "status": "warm", "key": key, "value": cached})
+            return
+        future = self._inflight.get(key)
+        if future is not None:
+            self.stats["serve_coalesced"] += 1
+            telemetry.increment("serve_coalesced")
+            await self._send(writer, lock, {
+                "id": request_id, "event": "accepted", "ok": True,
+                "status": "coalesced", "key": key})
+        else:
+            future = asyncio.get_running_loop().create_future()
+            self._inflight[key] = future
+            self.stats["serve_queue_peak"] = max(
+                self.stats["serve_queue_peak"], len(self._inflight))
+            asyncio.ensure_future(self._compute(query, future))
+            await self._send(writer, lock, {
+                "id": request_id, "event": "accepted", "ok": True,
+                "status": "cold", "key": key})
+        try:
+            value = await asyncio.shield(future)
+        except asyncio.CancelledError:
+            raise ProtocolError("shutdown", "server stopped mid-computation")
+        except Exception as exc:  # surfaced per-request, server survives
+            raise ProtocolError(
+                "compute-failed", f"{type(exc).__name__}: {exc}")
+        await self._send(writer, lock, {
+            "id": request_id, "event": "result", "ok": True,
+            "status": "cold", "key": key, "value": value})
+
+    async def _compute(self, query: Query, future: asyncio.Future) -> None:
+        """Run the resolver in a compute thread; exactly once per key."""
+        telemetry = get_runtime().telemetry
+        self.stats["serve_cold_computes"] += 1
+        telemetry.increment("serve_cold_computes")
+        loop = asyncio.get_running_loop()
+        try:
+            value = await loop.run_in_executor(
+                self._executor, self.resolver, query)
+        except Exception as exc:
+            self.stats["serve_compute_failures"] += 1
+            telemetry.increment("serve_compute_failures")
+            if not future.done():
+                future.set_exception(exc)
+        else:
+            self._remember(query.key, value)
+            if not future.done():
+                future.set_result(value)
+        finally:
+            self._inflight.pop(query.key, None)
+
+    def _remember(self, key: str, value: Dict[str, Any]) -> None:
+        """Insert into the LRU, evicting the least-recently-used answer."""
+        if self.config.lru_entries == 0:
+            return
+        telemetry = get_runtime().telemetry
+        while len(self._lru) >= self.config.lru_entries:
+            self._lru.popitem(last=False)
+            self.stats["serve_lru_evictions"] += 1
+            telemetry.increment("serve_lru_evictions")
+        self._lru[key] = value
+
+    # -- auxiliary ops ------------------------------------------------------
+
+    async def _handle_stats(self, request_id, writer: asyncio.StreamWriter,
+                            lock: asyncio.Lock) -> None:
+        snapshot = dict(self.stats)
+        snapshot["lru_entries"] = len(self._lru)
+        snapshot["inflight"] = len(self._inflight)
+        await self._send(writer, lock, {
+            "id": request_id, "event": "result", "ok": True,
+            "status": "warm", "value": snapshot})
+
+    async def _handle_store_get(self, request: Dict[str, Any], request_id,
+                                writer: asyncio.StreamWriter,
+                                lock: asyncio.Lock) -> None:
+        key = validate_store_key(request.get("key"))
+        cache = get_runtime().cache
+        if cache is None:
+            raise ProtocolError("no-store",
+                                "this server has no persistent cache "
+                                "attached (start it with --cache-dir)")
+        telemetry = get_runtime().telemetry
+        value = cache.get(key)
+        if value is MISS:
+            self.stats["serve_store_misses"] += 1
+            telemetry.increment("serve_store_misses")
+            await self._send(writer, lock, {
+                "id": request_id, "event": "result", "ok": True,
+                "status": "warm", "key": key, "found": False})
+            return
+        self.stats["serve_store_hits"] += 1
+        telemetry.increment("serve_store_hits")
+        encoded = base64.b64encode(
+            pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)).decode()
+        await self._send(writer, lock, {
+            "id": request_id, "event": "result", "ok": True,
+            "status": "warm", "key": key, "found": True,
+            "value_b64": encoded})
+
+    async def _handle_store_put(self, request: Dict[str, Any], request_id,
+                                writer: asyncio.StreamWriter,
+                                lock: asyncio.Lock) -> None:
+        key = validate_store_key(request.get("key"))
+        raw = request.get("value_b64")
+        if not isinstance(raw, str):
+            raise ProtocolError("bad-request",
+                                "store.put requires a value_b64 string")
+        cache = get_runtime().cache
+        if cache is None:
+            raise ProtocolError("no-store",
+                                "this server has no persistent cache "
+                                "attached (start it with --cache-dir)")
+        try:
+            value = pickle.loads(base64.b64decode(raw, validate=True))
+        except Exception as exc:
+            raise ProtocolError("bad-request",
+                                f"undecodable store value: {exc}")
+        stored = cache.put(key, value)
+        telemetry = get_runtime().telemetry
+        self.stats["serve_store_puts"] += 1
+        telemetry.increment("serve_store_puts")
+        await self._send(writer, lock, {
+            "id": request_id, "event": "result", "ok": True,
+            "status": "warm", "key": key, "stored": stored})
+
+
+async def _serve_until_stopped(config: ServeConfig,
+                               announce: Callable[[str], None]) -> None:
+    server = AvfServer(config)
+    await server.start()
+    announce(f"[repro serve] listening on {config.host}:{server.port} "
+             f"(lru={config.lru_entries}, "
+             f"workers={config.compute_workers})")
+    try:
+        await server.wait_stopped()
+    finally:
+        await server.stop()
+
+
+def serve_forever(config: ServeConfig,
+                  announce: Callable[[str], None] = print) -> None:
+    """Blocking entry point for ``repro serve`` (Ctrl-C stops cleanly)."""
+    try:
+        asyncio.run(_serve_until_stopped(config, announce))
+    except KeyboardInterrupt:
+        pass

@@ -414,3 +414,67 @@ class TestWarmSnapshotLru:
         telemetry.increment("warm_snapshot_evictions", 1)
         summary = telemetry.format_summary(verbose=True)
         assert "1 snapshots evicted" in summary
+
+
+class TestWarmSnapshotEvictionOrder:
+    """Direct coverage for `_WARM_SNAPSHOTS` eviction *order* and the
+    `warm_snapshot_evictions` telemetry counter.
+
+    The LRU bound itself is proven above; here we pin down (a) that
+    evictions proceed strictly least-recently-used-first across a long
+    insertion sequence, and (b) that each real eviction ticks the runtime
+    telemetry counter that the ``--verbose`` footer reports — previously
+    only the footer formatting was tested, with hand-incremented
+    counters.
+    """
+
+    def _simulate(self, program_, execution, machine, tail):
+        PipelineSimulator(program_, execution.trace,
+                          replace(machine, warmup_tail_accesses=tail),
+                          seed=TEST_SEED).run()
+
+    def test_evictions_are_oldest_first(self, small_program,
+                                        small_execution, base_machine,
+                                        monkeypatch):
+        core_mod.clear_warm_snapshots()
+        monkeypatch.setattr(core_mod, "_WARM_SNAPSHOT_LIMIT", 3)
+        inserted = []
+        for tail in (31, 32, 33):
+            self._simulate(small_program, small_execution, base_machine,
+                           tail)
+            inserted.append(list(core_mod._WARM_SNAPSHOTS)[-1])
+        # Each further insert evicts exactly the oldest surviving key, in
+        # the original insertion order.
+        for round_index, tail in enumerate((34, 35, 36)):
+            self._simulate(small_program, small_execution, base_machine,
+                           tail)
+            surviving = list(core_mod._WARM_SNAPSHOTS)
+            assert len(surviving) == 3
+            for old_key in inserted[:round_index + 1]:
+                assert old_key not in surviving
+            for kept_key in inserted[round_index + 1:]:
+                assert kept_key in surviving
+        core_mod.clear_warm_snapshots()
+
+    def test_real_evictions_tick_runtime_telemetry(self, small_program,
+                                                   small_execution,
+                                                   base_machine,
+                                                   monkeypatch):
+        core_mod.clear_warm_snapshots()
+        monkeypatch.setattr(core_mod, "_WARM_SNAPSHOT_LIMIT", 2)
+        with use_runtime() as runtime:
+            for tail in (41, 42, 43, 44):
+                self._simulate(small_program, small_execution,
+                               base_machine, tail)
+            counters = runtime.telemetry.counters
+            assert counters["warm_snapshot_evictions"] == 2
+            assert counters["warm_hierarchy_misses"] == 4
+            summary = runtime.telemetry.format_summary(verbose=True)
+            assert "2 snapshots evicted" in summary
+            # A warm hit must refresh, not evict.
+            evictions_before = counters["warm_snapshot_evictions"]
+            self._simulate(small_program, small_execution, base_machine,
+                           44)
+            assert counters["warm_snapshot_evictions"] == evictions_before
+            assert counters["warm_hierarchy_hits"] == 1
+        core_mod.clear_warm_snapshots()

@@ -55,6 +55,22 @@ class TestResultCacheStore:
         cache.put(key, [1, 2, 3])
         assert cache.get(key) == [1, 2, 3]
 
+    def test_corrupt_entry_ticks_telemetry_counter(self, tmp_path):
+        """Degrading to a miss is counted, not silent: a serving process
+        (or any long-lived runtime) must be able to see its store rot."""
+        with use_runtime() as context:
+            cache = ResultCache(tmp_path)
+            key = cache_key("corrupt-counted")
+            cache.put(key, {"x": 1})
+            cache.path_for(key).write_bytes(b"\x00garbage\xff")
+            assert cache.get(key) is MISS
+            assert context.telemetry.counters["cache_corrupt_entries"] == 1
+            # A clean miss (absent entry) is NOT a corruption.
+            assert cache.get(cache_key("never-stored")) is MISS
+            assert context.telemetry.counters["cache_corrupt_entries"] == 1
+            summary = context.telemetry.format_summary(cache=cache)
+            assert "1 corrupt" in summary
+
 
 class TestCacheKeys:
     def test_key_is_stable(self):
@@ -129,6 +145,7 @@ class TestCampaignCaching:
             warm = run_campaign(small_program, small_execution,
                                 small_pipeline, CONFIG)
             assert context.cache.errors >= 1
+            assert context.telemetry.counters["cache_corrupt_entries"] >= 1
         assert warm.counts == cold.counts
 
     def test_no_cache_bypasses_reads_and_writes(self, tmp_path, small_program,

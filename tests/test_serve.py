@@ -1,0 +1,278 @@
+"""AVF-as-a-service correctness.
+
+Golden equivalence: every answer the server produces — warm, cold, or
+under concurrency — must be byte-identical (:func:`canonical_dumps`) to
+encoding a direct ``run_benchmark`` / ``run_campaign`` call for the same
+tuple. Plus protocol-level behaviour: malformed requests get structured
+errors on a connection that stays usable, and a client disconnecting
+mid-stream neither kills the server nor wastes its computation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentSettings,
+    clear_caches,
+    run_benchmark,
+)
+from repro.faults.campaign import run_campaign
+from repro.runtime.context import use_runtime
+from repro.serve.client import AsyncServeClient, ServeError
+from repro.serve.protocol import (
+    canonical_dumps,
+    encode_benchmark,
+    encode_campaign,
+    parse_query,
+)
+from repro.serve.server import AvfServer, ServeConfig
+from repro.workloads.spec2000 import get_profile
+
+#: Small enough to answer in well under a second on the real engine.
+AVF_REQUEST = {"op": "avf", "profile": "crafty",
+               "target_instructions": 1500, "seed": 77}
+CAMPAIGN_REQUEST = {"op": "campaign", "profile": "mcf",
+                    "target_instructions": 1500, "seed": 77,
+                    "trials": 20, "campaign_seed": 9, "parity": True}
+
+
+def serve_scenario(scenario, resolver=None, config=None):
+    """Boot a fresh server on an ephemeral port, run ``scenario(server)``."""
+
+    async def main():
+        server = AvfServer(
+            config or ServeConfig(host="127.0.0.1", port=0),
+            resolver=resolver)
+        await server.start()
+        try:
+            return await scenario(server)
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+async def ask(server, request, collect_events=None):
+    client = await AsyncServeClient().connect("127.0.0.1", server.port)
+    try:
+        return await client.request(dict(request), collect_events)
+    finally:
+        await client.close()
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memos():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestGoldenEquivalence:
+    def test_avf_answer_matches_direct_engine_call(self):
+        with use_runtime():
+            query = parse_query(AVF_REQUEST)
+            direct = encode_benchmark(run_benchmark(
+                get_profile(query.profile_name),
+                ExperimentSettings(target_instructions=1500, seed=77),
+                machine=query.machine))
+
+            async def scenario(server):
+                client = await AsyncServeClient().connect(
+                    "127.0.0.1", server.port)
+                try:
+                    cold = await client.request(dict(AVF_REQUEST))
+                    warm = await client.request(dict(AVF_REQUEST))
+                finally:
+                    await client.close()
+                return cold, warm
+
+            cold, warm = serve_scenario(scenario)
+        assert cold["status"] == "cold"
+        assert warm["status"] == "warm"
+        assert canonical_dumps(cold["value"]) == canonical_dumps(direct)
+        assert canonical_dumps(warm["value"]) == canonical_dumps(direct)
+
+    def test_campaign_answer_matches_direct_engine_call(self):
+        with use_runtime():
+            query = parse_query(CAMPAIGN_REQUEST)
+            run = run_benchmark(
+                get_profile(query.profile_name),
+                ExperimentSettings(target_instructions=1500, seed=77),
+                machine=query.machine)
+            direct = encode_campaign(run_campaign(
+                run.program, run.execution, run.pipeline, query.campaign))
+            served = serve_scenario(
+                lambda server: ask(server, CAMPAIGN_REQUEST))
+        assert served["status"] == "cold"
+        assert canonical_dumps(served["value"]) == canonical_dumps(direct)
+        # The encoder drops zero-count outcomes, so the payload is stable
+        # against outcome-enum growth; sanity-check the shape.
+        assert served["value"]["trials"] == 20
+        assert all(count > 0 for count in served["value"]["counts"].values())
+
+    def test_concurrent_identical_queries_all_match_direct(self):
+        """Six racing clients, one simulation, six byte-identical answers."""
+        with use_runtime():
+            query = parse_query(AVF_REQUEST)
+            direct = encode_benchmark(run_benchmark(
+                get_profile(query.profile_name),
+                ExperimentSettings(target_instructions=1500, seed=77),
+                machine=query.machine))
+            clear_caches()  # the server must recompute, not reuse memos
+
+            async def scenario(server):
+                finals = await asyncio.gather(
+                    *(ask(server, AVF_REQUEST) for _ in range(6)))
+                return finals, dict(server.stats)
+
+            finals, stats = serve_scenario(scenario)
+        assert len(finals) == 6
+        for final in finals:
+            assert canonical_dumps(final["value"]) == canonical_dumps(direct)
+        assert stats["serve_cold_computes"] == 1
+        assert (stats.get("serve_warm_hits", 0)
+                + stats.get("serve_coalesced", 0)) == 5
+
+
+class TestProtocol:
+    def test_malformed_request_is_structured_error(self):
+        """Garbage on the wire answers with an error object — and the
+        connection remains usable for the next, well-formed request."""
+
+        async def scenario(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port)
+            try:
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                error = json.loads(await reader.readline())
+                writer.write(b'{"op": "ping", "id": 7}\n')
+                await writer.drain()
+                pong = json.loads(await reader.readline())
+            finally:
+                writer.close()
+                await writer.wait_closed()
+            return error, pong, dict(server.stats)
+
+        with use_runtime():
+            error, pong, stats = serve_scenario(scenario)
+        assert error["event"] == "error"
+        assert error["ok"] is False
+        assert error["error"]["code"] == "bad-json"
+        assert pong == {"id": 7, "event": "result", "ok": True,
+                        "status": "warm", "value": "pong"}
+        assert stats["serve_errors"] == 1
+
+    def test_bad_fields_map_to_structured_codes(self):
+        cases = [
+            ({"op": "frobnicate"}, "unknown-op"),
+            ({"op": "avf"}, "bad-request"),  # missing profile
+            ({"op": "avf", "profile": "nosuchbench"}, "unknown-profile"),
+            ({"op": "avf", "profile": "crafty", "trigger": "l9_miss"},
+             "bad-request"),
+            ({"op": "avf", "profile": "crafty",
+              "machine": {"fetch_width": "wide"}}, "bad-request"),
+            ({"op": "avf", "profile": "crafty",
+              "machine": {"warp_drive": 1}}, "bad-request"),
+            ({"op": "avf", "profile": "crafty",
+              "target_instructions": -5}, "bad-request"),
+            ({"op": "campaign", "profile": "crafty", "trials": 0},
+             "bad-request"),
+            ({"op": "campaign", "profile": "crafty",
+              "tracking": "FULL_PSYCHIC"}, "bad-request"),
+            ({"op": "store.get", "key": "shorty"}, "bad-request"),
+        ]
+
+        async def scenario(server):
+            client = await AsyncServeClient().connect(
+                "127.0.0.1", server.port)
+            codes = []
+            try:
+                for request, _ in cases:
+                    with pytest.raises(ServeError) as exc_info:
+                        await client.request(dict(request))
+                    codes.append(exc_info.value.code)
+                # After ten rejected requests the connection still works.
+                pong = await client.request({"op": "ping"})
+            finally:
+                await client.close()
+            return codes, pong
+
+        with use_runtime():
+            codes, pong = serve_scenario(scenario)
+        assert codes == [expected for _, expected in cases]
+        assert pong["value"] == "pong"
+
+    def test_client_disconnect_mid_stream_wastes_nothing(self):
+        """A client vanishing between ``accepted`` and ``result`` must not
+        crash the server or cancel the computation: the next asker gets
+        the answer without a recompute."""
+        started = threading.Event()
+        release = threading.Event()
+        calls = []
+
+        def gated_resolver(query):
+            calls.append(query.key)
+            started.set()
+            assert release.wait(10), "test deadlock: resolver never released"
+            return {"echo": query.seed}
+
+        request = {"op": "avf", "profile": "crafty",
+                   "target_instructions": 500, "seed": 3}
+
+        async def scenario(server):
+            loop = asyncio.get_running_loop()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port)
+            writer.write((json.dumps({**request, "id": 1}) + "\n").encode())
+            await writer.drain()
+            accepted = json.loads(await reader.readline())
+            assert accepted["event"] == "accepted"
+            assert accepted["status"] == "cold"
+            # Wait until the compute thread is inside the resolver, then
+            # vanish abruptly with the result still pending.
+            await loop.run_in_executor(None, started.wait, 10)
+            writer.close()
+            await writer.wait_closed()
+            release.set()
+            final = await ask(server, request)
+            pong = await ask(server, {"op": "ping"})
+            return final, pong, dict(server.stats)
+
+        with use_runtime():
+            final, pong, stats = serve_scenario(
+                scenario, resolver=gated_resolver)
+        assert final["value"] == {"echo": 3}
+        assert final["status"] in ("warm", "cold")
+        assert pong["value"] == "pong"
+        assert len(calls) == 1, "disconnect must not trigger a recompute"
+        assert stats["serve_cold_computes"] == 1
+
+    def test_compute_failure_is_per_request_not_fatal(self):
+        def exploding_resolver(query):
+            raise RuntimeError("engine said no")
+
+        async def scenario(server):
+            client = await AsyncServeClient().connect(
+                "127.0.0.1", server.port)
+            try:
+                with pytest.raises(ServeError) as exc_info:
+                    await client.request({"op": "avf", "profile": "crafty",
+                                          "seed": 11})
+                pong = await client.request({"op": "ping"})
+            finally:
+                await client.close()
+            return exc_info.value, pong, dict(server.stats)
+
+        with use_runtime():
+            error, pong, stats = serve_scenario(
+                scenario, resolver=exploding_resolver)
+        assert error.code == "compute-failed"
+        assert "engine said no" in error.message
+        assert pong["value"] == "pong"
+        assert stats["serve_compute_failures"] == 1

@@ -1,0 +1,285 @@
+"""Load harness for the AVF query service.
+
+Drives thousands of concurrent mixed warm/cold queries at an
+:class:`AvfServer` — in-process by default, or a live ``repro serve``
+process via ``--external HOST:PORT`` — and asserts the service's three
+contracts on the way through:
+
+* **byte identity**: every served answer (warm, cold, or coalesced)
+  is byte-identical to encoding a direct ``run_benchmark`` /
+  ``run_campaign`` call for the same tuple;
+* **exact dedup**: across the whole run the server performs exactly one
+  cold computation per distinct key — proven by the server's own
+  ``stats`` counters, not inferred from timing;
+* **warm latency**: warm-key answers come back with a p50 under
+  ``--max-warm-p50-ms`` (default 1 ms on localhost).
+
+Results land in ``BENCH_serve.json``; the exit status is non-zero if any
+check fails.
+
+    PYTHONPATH=src python tools/bench_serve.py
+    PYTHONPATH=src python tools/bench_serve.py --small              # CI smoke
+    PYTHONPATH=src python tools/bench_serve.py --small --external 127.0.0.1:8787
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.common import (
+    ExperimentSettings,
+    clear_caches,
+    run_benchmark,
+)
+from repro.faults.campaign import run_campaign
+from repro.runtime.context import use_runtime
+from repro.serve.client import AsyncServeClient, parse_address
+from repro.serve.protocol import (
+    canonical_dumps,
+    encode_benchmark,
+    encode_campaign,
+    parse_query,
+)
+from repro.serve.server import AvfServer, ServeConfig
+from repro.workloads.spec2000 import ALL_PROFILES, get_profile
+
+
+def build_requests(args):
+    """The distinct-key query mix: AVF points plus a few campaigns."""
+    names = [profile.name for profile in ALL_PROFILES][:args.profiles]
+    requests = []
+    for seed_offset in range(args.seeds_per_profile):
+        for name in names:
+            requests.append({
+                "op": "avf", "profile": name,
+                "target_instructions": args.instructions,
+                "seed": args.seed + seed_offset,
+            })
+    for name in names[:args.campaigns]:
+        requests.append({
+            "op": "campaign", "profile": name,
+            "target_instructions": args.instructions,
+            "seed": args.seed, "trials": args.trials,
+            "campaign_seed": args.seed + 1, "parity": True,
+        })
+    return requests
+
+
+def golden_answers(requests):
+    """Direct engine answers through the service encoders — the oracle."""
+    goldens = []
+    for request in requests:
+        query = parse_query(request)
+        run = run_benchmark(
+            get_profile(query.profile_name),
+            ExperimentSettings(target_instructions=query.target_instructions,
+                               seed=query.seed),
+            machine=query.machine)
+        if query.op == "avf":
+            goldens.append(canonical_dumps(encode_benchmark(run)))
+        else:
+            goldens.append(canonical_dumps(encode_campaign(run_campaign(
+                run.program, run.execution, run.pipeline, query.campaign))))
+    return goldens
+
+
+async def fetch_stats(client):
+    return (await client.request({"op": "stats"}))["value"]
+
+
+async def drive(args, requests, goldens, failures):
+    """All serving phases under one event loop; returns the record body."""
+    server = None
+    if args.external:
+        host, port = parse_address(args.external)
+    else:
+        server = AvfServer(ServeConfig(host="127.0.0.1", port=0))
+        await server.start()
+        host, port = "127.0.0.1", server.port
+    pool = []
+    try:
+        for _ in range(args.connections):
+            pool.append(await AsyncServeClient().connect(host, port))
+        control = pool[0]
+        before = await fetch_stats(control)
+
+        # ---- phase 1: warm half the keys (their storm repeats are warm,
+        # the other half's first touch happens *inside* the storm) -------
+        prewarmed = list(range(0, len(requests), 2))
+        started = time.perf_counter()
+        for index in prewarmed:
+            final = await control.request(dict(requests[index]))
+            if canonical_dumps(final["value"]) != goldens[index]:
+                failures.append(f"prewarm answer {index} differs from the "
+                                f"direct engine call")
+        prewarm_s = time.perf_counter() - started
+
+        # ---- phase 2: the storm — concurrent mixed warm/cold ------------
+        async def one(task_index):
+            index = (task_index * 7) % len(requests)
+            t0 = time.perf_counter()
+            final = await pool[task_index % len(pool)].request(
+                dict(requests[index]))
+            elapsed = time.perf_counter() - t0
+            return index, final, elapsed
+
+        started = time.perf_counter()
+        outcomes = await asyncio.gather(*(one(i) for i in range(args.storm)))
+        storm_s = time.perf_counter() - started
+        storm_latencies = []
+        for index, final, elapsed in outcomes:
+            storm_latencies.append(elapsed)
+            if canonical_dumps(final["value"]) != goldens[index]:
+                failures.append(f"storm answer for key {index} differs "
+                                f"from the direct engine call")
+
+        # ---- phase 3: warm-key latency, low-contention ------------------
+        warm_latencies = []
+        for i in range(args.warm_samples):
+            request = dict(requests[i % len(requests)])
+            t0 = time.perf_counter()
+            final = await control.request(request)
+            warm_latencies.append(time.perf_counter() - t0)
+            if final["status"] != "warm":
+                failures.append(f"latency-phase answer {i} was not warm "
+                                f"(status {final['status']!r})")
+        after = await fetch_stats(control)
+    finally:
+        for client in pool:
+            await client.close()
+        if server is not None:
+            await server.stop()
+
+    delta = {key: after.get(key, 0) - before.get(key, 0)
+             for key in ("serve_requests", "serve_cold_computes",
+                         "serve_warm_hits", "serve_coalesced",
+                         "serve_lru_evictions", "serve_errors")}
+    warm_p50 = statistics.median(warm_latencies) * 1000
+    warm_p95 = sorted(warm_latencies)[int(0.95 * len(warm_latencies))] * 1000
+
+    if delta["serve_cold_computes"] != len(requests):
+        failures.append(
+            f"dedup violated: {delta['serve_cold_computes']} cold "
+            f"computations for {len(requests)} distinct keys")
+    if delta["serve_errors"]:
+        failures.append(f"{delta['serve_errors']} serve errors during "
+                        f"the run")
+    if warm_p50 >= args.max_warm_p50_ms:
+        failures.append(f"warm p50 {warm_p50:.3f} ms is above the "
+                        f"{args.max_warm_p50_ms} ms bound")
+
+    return {
+        "counts": {
+            "distinct_keys": len(requests),
+            "prewarmed_keys": len(prewarmed),
+            "storm_requests": args.storm,
+            "warm_samples": args.warm_samples,
+            "connections": args.connections,
+            "total_requests": (len(prewarmed) + args.storm
+                               + args.warm_samples),
+        },
+        "seconds": {"prewarm": round(prewarm_s, 3),
+                    "storm": round(storm_s, 3)},
+        "latency_ms": {
+            "warm_p50": round(warm_p50, 4),
+            "warm_p95": round(warm_p95, 4),
+            "storm_p50": round(
+                statistics.median(storm_latencies) * 1000, 3),
+            "storm_p95": round(
+                sorted(storm_latencies)[
+                    int(0.95 * len(storm_latencies))] * 1000, 3),
+        },
+        "throughput_qps": round(args.storm / storm_s, 1) if storm_s else None,
+        "stats_delta": delta,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Concurrency/latency harness for the AVF query "
+                    "service; records BENCH_serve.json.")
+    parser.add_argument("--instructions", type=int, default=4000)
+    parser.add_argument("--profiles", type=int, default=6,
+                        help="distinct benchmark profiles in the mix")
+    parser.add_argument("--seeds-per-profile", type=int, default=2)
+    parser.add_argument("--campaigns", type=int, default=4,
+                        help="campaign queries appended to the mix")
+    parser.add_argument("--trials", type=int, default=60)
+    parser.add_argument("--seed", type=int, default=2004)
+    parser.add_argument("--storm", type=int, default=2000,
+                        help="concurrent mixed warm/cold requests")
+    parser.add_argument("--warm-samples", type=int, default=2000,
+                        help="sequential warm round-trips for the p50")
+    parser.add_argument("--connections", type=int, default=8)
+    parser.add_argument("--small", action="store_true",
+                        help="CI preset: smaller tuples, 1200-query storm")
+    parser.add_argument("--external", default=None, metavar="HOST:PORT",
+                        help="target a running `repro serve` instead of "
+                             "booting in-process")
+    parser.add_argument("--max-warm-p50-ms", type=float, default=1.0)
+    parser.add_argument("--output", default="BENCH_serve.json")
+    args = parser.parse_args()
+    if args.small:
+        args.instructions = min(args.instructions, 1500)
+        args.profiles = min(args.profiles, 4)
+        args.seeds_per_profile = 1
+        args.campaigns = min(args.campaigns, 2)
+        args.trials = min(args.trials, 20)
+        args.storm = min(args.storm, 1200)
+        args.warm_samples = min(args.warm_samples, 500)
+
+    failures = []
+    with use_runtime():
+        requests = build_requests(args)
+        print(f"mix: {len(requests)} distinct keys "
+              f"({args.profiles} profiles x {args.seeds_per_profile} seeds "
+              f"+ {args.campaigns} campaigns) x {args.instructions} "
+              f"instructions; storm {args.storm} over "
+              f"{args.connections} connections")
+        goldens = golden_answers(requests)
+        # The server must recompute every cold key for real — don't let
+        # the oracle pass leave warm memos behind for an in-process run.
+        clear_caches()
+        body = asyncio.run(drive(args, requests, goldens, failures))
+    clear_caches()
+
+    record = {
+        "mode": "external" if args.external else "in-process",
+        "config": {
+            "instructions": args.instructions,
+            "profiles": args.profiles,
+            "seeds_per_profile": args.seeds_per_profile,
+            "campaigns": args.campaigns,
+            "trials": args.trials,
+            "seed": args.seed,
+        },
+        **body,
+        "requirements": {"max_warm_p50_ms": args.max_warm_p50_ms,
+                         "one_compute_per_distinct_key": True,
+                         "byte_identical_to_direct_calls": True},
+        "checks": {
+            "byte_identical": not any("differs" in f for f in failures),
+            "dedup_exact": not any("dedup" in f for f in failures),
+            "warm_p50_in_bound": not any("p50" in f for f in failures),
+        },
+        "passed": not failures,
+    }
+    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"warm p50 {body['latency_ms']['warm_p50']:.3f} ms, storm "
+          f"{args.storm} requests in {body['seconds']['storm']}s "
+          f"({body['throughput_qps']} qps), "
+          f"{body['stats_delta']['serve_cold_computes']} cold computes for "
+          f"{len(requests)} keys -> {args.output}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
