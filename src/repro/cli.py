@@ -199,6 +199,11 @@ def build_parser() -> argparse.ArgumentParser:
              "simulating and written through after (default: "
              "$REPRO_SERVICE; service failures degrade to local compute)")
     parser.add_argument(
+        "--service-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt socket timeout for service clients (default "
+             "$REPRO_SERVICE_TIMEOUT, else 60s for the timeline store / "
+             "300s interactive)")
+    parser.add_argument(
         "--host", default=None,
         help="serve: listen address (default $REPRO_SERVE_HOST or "
              "127.0.0.1)")
@@ -215,6 +220,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve: engine threads draining cold keys (default "
              "$REPRO_SERVE_WORKERS or 1; each computation still fans out "
              "over --jobs worker processes)")
+    parser.add_argument(
+        "--max-inflight", type=int, default=None,
+        help="serve: cold computations admitted before new cold keys are "
+             "shed with a retryable 'overloaded' error (default "
+             "$REPRO_SERVE_MAX_INFLIGHT or 64; 0 disables shedding)")
+    parser.add_argument(
+        "--compute-deadline", type=float, default=None, metavar="SECONDS",
+        help="serve: per-query answer deadline; past it the request "
+             "fails with retryable 'deadline-exceeded' while the "
+             "computation continues into the LRU (default "
+             "$REPRO_SERVE_DEADLINE or off)")
     parser.add_argument(
         "--verbose", action="store_true",
         help="extended telemetry footer: oracle fast-path breakdown, "
@@ -234,7 +250,9 @@ def _run_server(args, runtime) -> int:
     try:
         config = ServeConfig.from_env(host=args.host, port=args.port,
                                       lru_entries=args.lru_entries,
-                                      compute_workers=args.compute_workers)
+                                      compute_workers=args.compute_workers,
+                                      max_inflight=args.max_inflight,
+                                      compute_deadline=args.compute_deadline)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -242,11 +260,14 @@ def _run_server(args, runtime) -> int:
     def announce(message: str) -> None:
         print(message, flush=True)
 
-    serve_forever(config, announce)
+    # SIGTERM is handled by the server's own asyncio handler (graceful
+    # drain, exit 143) — it supersedes the generic KeyboardInterrupt
+    # conversion while the loop runs.
+    code = serve_forever(config, announce)
     print(runtime.telemetry.format_summary(cache=runtime.cache,
                                            jobs=runtime.jobs,
                                            verbose=args.verbose))
-    return 0
+    return code
 
 
 def _install_sigterm_handler() -> None:
@@ -288,7 +309,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                             static_filter=not args.no_static_filter,
                             interval_kernel=not args.no_interval_kernel,
                             batch_strikes=not args.no_batch_strikes,
-                            service=args.service)
+                            service=args.service,
+                            service_timeout=args.service_timeout)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

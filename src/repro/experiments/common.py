@@ -88,7 +88,8 @@ def _remote_store():
     :class:`repro.serve.client.RemoteStore`), preserving the cache
     layer's never-take-a-run-down policy.
     """
-    address = get_runtime().service
+    runtime = get_runtime()
+    address = runtime.service
     if address is None:
         return None
     store = _remote_stores.get(address)
@@ -97,7 +98,7 @@ def _remote_store():
         # without the serving stack.
         from repro.serve.client import RemoteStore
 
-        store = RemoteStore(address)
+        store = RemoteStore(address, timeout=runtime.service_timeout)
         _remote_stores[address] = store
     return store
 

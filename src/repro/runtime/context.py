@@ -56,10 +56,17 @@ class RuntimeContext:
     #: results are written through; any service failure degrades to a
     #: local compute, never an error.
     service: Optional[str] = None
+    #: Per-attempt socket timeout, in seconds, for service clients
+    #: (``--service-timeout`` / ``REPRO_SERVICE_TIMEOUT``; None = each
+    #: client's own default: 60 s for the remote store, 300 s
+    #: interactive).
+    service_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if self.service_timeout is not None and self.service_timeout <= 0:
+            raise ValueError("service_timeout must be positive")
         if self.checkpoint_dir is not None:
             self.checkpoint_dir = Path(self.checkpoint_dir)
         if self.resume and self.checkpoint_dir is None:
@@ -103,6 +110,7 @@ def configure(
     interval_kernel: bool = True,
     batch_strikes: bool = True,
     service: Optional[str] = None,
+    service_timeout: Optional[float] = None,
 ) -> RuntimeContext:
     """Build and install a context from CLI-style knobs.
 
@@ -125,7 +133,7 @@ def configure(
         else Path(checkpoint_dir),
         resume=resume, static_filter=static_filter,
         interval_kernel=interval_kernel, batch_strikes=batch_strikes,
-        service=service))
+        service=service, service_timeout=service_timeout))
 
 
 @contextmanager
@@ -143,6 +151,7 @@ def use_runtime(
     interval_kernel: bool = True,
     batch_strikes: bool = True,
     service: Optional[str] = None,
+    service_timeout: Optional[float] = None,
 ) -> Iterator[RuntimeContext]:
     """Scoped context install; restores the previous context on exit."""
     if cache is None and cache_dir is not None and not no_cache:
@@ -158,7 +167,8 @@ def use_runtime(
                              static_filter=static_filter,
                              interval_kernel=interval_kernel,
                              batch_strikes=batch_strikes,
-                             service=service)
+                             service=service,
+                             service_timeout=service_timeout)
     previous = get_runtime()
     set_runtime(context)
     try:

@@ -190,6 +190,14 @@ class Telemetry:
             detail.append(f"{c['serve_lru_evictions']} evicted")
         if c["serve_errors"]:
             detail.append(f"{c['serve_errors']} errors")
+        if c["serve_shed_requests"]:
+            detail.append(f"{c['serve_shed_requests']} shed")
+        if c["serve_deadline_expirations"]:
+            detail.append(f"{c['serve_deadline_expirations']} deadlines "
+                          f"expired")
+        if c["serve_drains"]:
+            detail.append(f"drained ({c['serve_drained_answers']} answered, "
+                          f"{c['serve_drain_refusals']} refused)")
         if c["serve_store_hits"] or c["serve_store_puts"]:
             detail.append(f"store {c['serve_store_hits']} gets, "
                           f"{c['serve_store_puts']} puts")
@@ -201,13 +209,19 @@ class Telemetry:
         """Service-store client account, empty when no service was used."""
         c = self.counters
         if not (c["remote_store_hits"] or c["remote_store_misses"]
-                or c["remote_store_puts"] or c["remote_store_errors"]):
+                or c["remote_store_puts"] or c["remote_store_errors"]
+                or c["remote_store_short_circuits"]):
             return ""
         text = (f"service store: {c['remote_store_hits']} hits, "
                 f"{c['remote_store_misses']} misses, "
                 f"{c['remote_store_puts']} puts")
         if c["remote_store_errors"]:
             text += f", {c['remote_store_errors']} errors"
+        if c["remote_store_client_retries"]:
+            text += f", {c['remote_store_client_retries']} retries"
+        if c["remote_store_breaker_open"]:
+            text += (f", breaker opened x{c['remote_store_breaker_open']} "
+                     f"({c['remote_store_short_circuits']} short-circuited)")
         return text
 
     def _format_resilience(self) -> str:

@@ -1,6 +1,6 @@
 """AVF-as-a-service: an async query layer over the runtime's stores.
 
-The serving stack has three pieces:
+The serving stack has five pieces:
 
 * :mod:`repro.serve.protocol` — the newline-delimited-JSON wire format:
   request validation, canonical query keys, and the result encoders whose
@@ -8,13 +8,28 @@ The serving stack has three pieces:
 * :mod:`repro.serve.server` — the :class:`AvfServer` asyncio service:
   warm keys answered from a bounded LRU in microseconds, cold keys
   deduplicated/coalesced onto exactly one computation on the supervised
-  engine and streamed back on completion;
-* :mod:`repro.serve.client` — synchronous and asyncio clients, plus the
-  failure-tolerant :class:`RemoteStore` that lets the experiment plumbing
-  fetch/put timeline entries through a running service.
+  engine, bounded admission with load shedding, per-request deadlines,
+  and SIGTERM → graceful drain;
+* :mod:`repro.serve.client` — synchronous and asyncio clients with
+  retry/backoff/deadline discipline, plus the failure-tolerant
+  :class:`RemoteStore` that lets the experiment plumbing fetch/put
+  timeline entries through a running service;
+* :mod:`repro.serve.resilience` — the client-side failure machinery:
+  :class:`CircuitBreaker`, :class:`ClientPolicy`, deadline budgets;
+* :mod:`repro.serve.chaos` — a seeded deterministic TCP chaos proxy
+  (:class:`ChaosProxy`) that damages the wire so the above can be proven
+  rather than assumed.
 """
 
-from repro.serve.client import AsyncServeClient, RemoteStore, ServeClient
+from repro.serve.chaos import ChaosProxy, WireChaosConfig
+from repro.serve.client import (
+    AsyncServeClient,
+    RemoteStore,
+    ResilientAsyncClient,
+    ServeClient,
+    ServeError,
+    WireDesync,
+)
 from repro.serve.protocol import (
     ProtocolError,
     canonical_dumps,
@@ -22,15 +37,30 @@ from repro.serve.protocol import (
     encode_campaign,
     parse_query,
 )
+from repro.serve.resilience import (
+    BreakerOpen,
+    CircuitBreaker,
+    ClientPolicy,
+    DeadlineBudget,
+)
 from repro.serve.server import AvfServer, ServeConfig
 
 __all__ = [
     "AsyncServeClient",
     "AvfServer",
+    "BreakerOpen",
+    "ChaosProxy",
+    "CircuitBreaker",
+    "ClientPolicy",
+    "DeadlineBudget",
     "ProtocolError",
     "RemoteStore",
+    "ResilientAsyncClient",
     "ServeClient",
     "ServeConfig",
+    "ServeError",
+    "WireChaosConfig",
+    "WireDesync",
     "canonical_dumps",
     "encode_benchmark",
     "encode_campaign",

@@ -1,0 +1,262 @@
+"""Deterministic wire-level chaos for the AVF query service.
+
+PR 2's :mod:`repro.runtime.chaos` injects faults into the *campaign
+runtime* (killed workers, poisoned trials, garbled files) so the
+supervision layer's recovery paths are proven rather than assumed. This
+module does the same to the *network*: a TCP proxy sits between a real
+client and a real server and damages the byte stream per a schedule
+derived from a seed — dropped lines, delays, connection resets, lines
+truncated mid-frame, and garbled bytes.
+
+Every decision is a pure function of ``(chaos seed, direction,
+connection index, line index)`` via :func:`repro.util.rng.derive_seed`,
+so a chaos run replays: the same seed resets the same connections and
+garbles the same lines on every invocation (given the same client
+behaviour — concurrent clients race for connection indices, which is
+fine because the suites assert *outcomes*, not fault order).
+
+**Why garbling can never fabricate an answer.** Damaged bytes are
+stamped with ``0xFF``, which is not valid UTF-8 in any position — a
+garbled line is structurally guaranteed to fail JSON decoding on
+whichever side receives it. The server answers an unattributable
+``bad-json`` error; the client treats either signal as wire desync and
+retries over a fresh connection. There is no schedule of injected
+faults under which damage parses into a plausible-but-wrong payload,
+which is what the differential suite then demonstrates end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.serve.protocol import MAX_LINE_BYTES
+from repro.util.rng import DeterministicRng, derive_seed
+
+#: Every recognised wire failure mode.
+WIRE_CHAOS_MODES = (
+    "drop",      # swallow a line entirely (the sender waits, times out)
+    "delay",     # hold a line for delay_seconds before forwarding
+    "reset",     # abort both sides of the connection mid-stream
+    "truncate",  # forward half a line (no newline), then abort
+    "garble",    # stamp bytes with 0xFF (never valid UTF-8) and forward
+)
+
+
+@dataclass(frozen=True)
+class WireChaosConfig:
+    """Which wire faults are armed, and how aggressively.
+
+    Probabilities are per forwarded line and mutually exclusive (one
+    draw per line picks at most one fault), so their sum must stay
+    within [0, 1].
+    """
+
+    modes: Tuple[str, ...] = WIRE_CHAOS_MODES
+    seed: int = 2004
+    drop_prob: float = 0.02
+    delay_prob: float = 0.08
+    delay_seconds: float = 0.005
+    reset_prob: float = 0.04
+    truncate_prob: float = 0.03
+    garble_prob: float = 0.05
+
+    def __post_init__(self) -> None:
+        unknown = [m for m in self.modes if m not in WIRE_CHAOS_MODES]
+        if unknown:
+            raise ValueError(
+                f"unknown wire chaos mode(s) {', '.join(sorted(unknown))}; "
+                f"choose from {', '.join(WIRE_CHAOS_MODES)}")
+        if self.seed < 0:
+            raise ValueError("chaos seed must be non-negative")
+        for name in ("drop_prob", "delay_prob", "reset_prob",
+                     "truncate_prob", "garble_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        total = sum(prob for _, prob in self._armed())
+        if total > 1.0:
+            raise ValueError(
+                f"armed probabilities sum to {total}, must be <= 1")
+        if self.delay_seconds < 0.0:
+            raise ValueError("delay_seconds must be non-negative")
+
+    def enabled(self, mode: str) -> bool:
+        return mode in self.modes
+
+    def _armed(self) -> Tuple[Tuple[str, float], ...]:
+        return tuple((mode, getattr(self, f"{mode}_prob"))
+                     for mode in WIRE_CHAOS_MODES if mode in self.modes)
+
+
+class ChaosProxy:
+    """A seeded TCP chaos proxy in front of one upstream server.
+
+    Listens on ``host:port`` (port 0 picks a free one, published as
+    :attr:`port` after :meth:`start`) and forwards line-by-line to
+    ``upstream``. Faults are applied per the config's deterministic
+    schedule in both directions (``up`` = client→server requests,
+    ``down`` = server→client responses). :attr:`counters` records every
+    decision (``wire_pass``, ``wire_drop``, …) so tests can assert the
+    storm actually stormed.
+    """
+
+    def __init__(self, upstream: Tuple[str, int], config: WireChaosConfig,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.upstream = upstream
+        self.config = config
+        self.host = host
+        self.port: Optional[int] = port or None
+        self.counters: Counter = Counter()
+        self._listen_port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._ids = itertools.count(1)
+        self._pumps: set = set()
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._listen_port,
+            limit=MAX_LINE_BYTES)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._pumps):
+            task.cancel()
+        if self._pumps:
+            await asyncio.gather(*self._pumps, return_exceptions=True)
+            self._pumps.clear()
+
+    async def __aenter__(self) -> "ChaosProxy":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- the fault schedule -------------------------------------------------
+
+    def decide(self, direction: str, connection: int,
+               line_index: int) -> Tuple[str, DeterministicRng]:
+        """One deterministic draw: which fault (if any) hits this line."""
+        rng = DeterministicRng(derive_seed(
+            self.config.seed, "wire", direction, connection, line_index))
+        draw = rng.random()
+        for mode, prob in self.config._armed():
+            draw -= prob
+            if draw < 0.0:
+                return mode, rng
+        return "pass", rng
+
+    @staticmethod
+    def garble_line(line: bytes, rng: DeterministicRng) -> bytes:
+        """Stamp 1–8 payload bytes with 0xFF (never valid UTF-8).
+
+        The trailing newline is preserved so framing survives and the
+        damage is confined to exactly one request/response — the
+        receiver must *detect* it, not resynchronise around it.
+        """
+        body = bytearray(line[:-1] if line.endswith(b"\n") else line)
+        if not body:
+            return line
+        for _ in range(1 + rng.randint(0, 7)):
+            body[rng.randint(0, len(body) - 1)] = 0xFF
+        return bytes(body) + (b"\n" if line.endswith(b"\n") else b"")
+
+    # -- plumbing -----------------------------------------------------------
+
+    @staticmethod
+    def _abort(writer: Optional[asyncio.StreamWriter]) -> None:
+        if writer is None:
+            return
+        try:
+            writer.transport.abort()
+        except (AttributeError, ConnectionError, OSError, RuntimeError):
+            pass
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        connection = next(self._ids)
+        self.counters["wire_connections"] += 1
+        try:
+            up_reader, up_writer = await asyncio.open_connection(
+                *self.upstream, limit=MAX_LINE_BYTES)
+        except OSError:
+            self.counters["wire_upstream_refused"] += 1
+            self._abort(writer)
+            return
+        pumps = [
+            asyncio.ensure_future(self._pump(
+                reader, up_writer, writer, "up", connection)),
+            asyncio.ensure_future(self._pump(
+                up_reader, writer, up_writer, "down", connection)),
+        ]
+        for task in pumps:
+            self._pumps.add(task)
+            task.add_done_callback(self._pumps.discard)
+        try:
+            await asyncio.gather(*pumps, return_exceptions=True)
+        finally:
+            for side in (writer, up_writer):
+                try:
+                    side.close()
+                except (ConnectionError, OSError, RuntimeError):
+                    pass
+
+    async def _pump(self, reader: asyncio.StreamReader,
+                    writer: asyncio.StreamWriter,
+                    back_writer: asyncio.StreamWriter,
+                    direction: str, connection: int) -> None:
+        """Forward one direction line-by-line, applying the schedule."""
+        line_index = 0
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    # Clean EOF: half-close forward so it propagates.
+                    try:
+                        if writer.can_write_eof():
+                            writer.write_eof()
+                    except (ConnectionError, OSError, RuntimeError):
+                        pass
+                    return
+                action, rng = self.decide(direction, connection, line_index)
+                line_index += 1
+                self.counters[f"wire_{action}"] += 1
+                if action == "drop":
+                    continue
+                if action == "reset":
+                    self._abort(writer)
+                    self._abort(back_writer)
+                    return
+                if action == "truncate":
+                    writer.write(line[: max(1, len(line) // 2)])
+                    try:
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        pass
+                    self._abort(writer)
+                    self._abort(back_writer)
+                    return
+                if action == "delay":
+                    await asyncio.sleep(self.config.delay_seconds)
+                elif action == "garble":
+                    line = self.garble_line(line, rng)
+                writer.write(line)
+                await writer.drain()
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            self._abort(writer)
+        except ValueError:
+            # A line past the limit: the stream cannot be re-framed.
+            self.counters["wire_overlong"] += 1
+            self._abort(writer)
+            self._abort(back_writer)
+        except asyncio.CancelledError:
+            self._abort(writer)
+            raise

@@ -56,8 +56,16 @@ MAX_LINE_BYTES = 64 * 1024 * 1024
 #: Ops that resolve through the compute path (LRU + coalescing).
 QUERY_OPS = ("avf", "campaign")
 #: Every op the server understands.
-ALL_OPS = QUERY_OPS + ("ping", "stats", "store.get", "store.put",
+ALL_OPS = QUERY_OPS + ("ping", "stats", "health", "store.get", "store.put",
                        "shutdown")
+
+#: Error codes that invite a retry (the condition is transient and the
+#: answer, when it comes, will be the same bytes): shed by admission
+#: control, refused during drain, interrupted by shutdown, or timed out
+#: against a compute deadline. Shared vocabulary between server errors
+#: and client retry policy.
+RETRYABLE_ERROR_CODES = ("overloaded", "draining", "deadline-exceeded",
+                         "shutdown")
 
 #: MachineConfig fields a request may override, with their JSON types.
 #: Enum-valued and nested squash knobs are handled separately below.
@@ -86,15 +94,25 @@ _MACHINE_SCALARS = {
 
 
 class ProtocolError(Exception):
-    """A structured, client-visible request failure."""
+    """A structured, client-visible request failure.
 
-    def __init__(self, code: str, message: str) -> None:
+    ``retry_after`` (seconds, 0 = no hint) rides along on transient
+    errors — shedding and drain refusals — so clients can pace their
+    retries to the server's estimate instead of guessing.
+    """
+
+    def __init__(self, code: str, message: str,
+                 retry_after: float = 0.0) -> None:
         super().__init__(message)
         self.code = code
         self.message = message
+        self.retry_after = retry_after
 
-    def payload(self) -> Dict[str, str]:
-        return {"code": self.code, "message": self.message}
+    def payload(self) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"code": self.code, "message": self.message}
+        if self.retry_after > 0.0:
+            body["retry_after"] = self.retry_after
+        return body
 
 
 @dataclass(frozen=True)

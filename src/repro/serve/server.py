@@ -24,6 +24,19 @@ other machines share one fleet-wide timeline store
 values are pickles (base64 over the wire) — the service is a trusted
 lab-internal component, same trust model as the on-disk cache.
 
+**Overload and shutdown semantics.** Admission is bounded: once
+``max_inflight`` cold computations are outstanding, *new* cold keys are
+shed with a structured ``overloaded`` error carrying a retry-after hint
+(warm hits and coalesced joins are free and always served — shedding
+protects the engine, not the LRU). Each query is answered within the
+server's ``compute_deadline`` (and/or the request's own ``deadline``
+field) or fails with retryable ``deadline-exceeded`` — the computation
+itself is never cancelled; it finishes and lands in the LRU for the next
+asker. SIGTERM triggers a graceful drain: stop accepting connections,
+answer everything in flight, refuse new queries with ``draining``, then
+close (exit code 143). The ``health`` op reports live/ready/draining
+plus the counters a fleet balancer or circuit breaker wants to see.
+
 Every request ticks both the server's own :attr:`AvfServer.stats`
 counters (authoritative, queryable via the ``stats`` op) and the runtime
 telemetry, so ``repro serve`` prints the standard footer on shutdown.
@@ -35,6 +48,7 @@ import asyncio
 import base64
 import os
 import pickle
+import signal
 from collections import Counter, OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -59,6 +73,14 @@ DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8787
 DEFAULT_LRU_ENTRIES = 256
 DEFAULT_COMPUTE_WORKERS = 1
+#: Cold computations admitted before new cold keys are shed (0 = never).
+DEFAULT_MAX_INFLIGHT = 64
+#: Per-query answer deadline, in seconds (0 = none).
+DEFAULT_COMPUTE_DEADLINE = 0.0
+#: Retry-after hint attached to shed/draining errors, in seconds.
+DEFAULT_RETRY_AFTER = 0.25
+#: SIGTERM drain exit code (128 + SIGTERM), surfaced by ``repro serve``.
+DRAIN_EXIT_CODE = 143
 
 
 def _env_int(name: str, default: int) -> int:
@@ -69,6 +91,16 @@ def _env_int(name: str, default: int) -> int:
         return int(raw)
     except ValueError:
         raise ValueError(f"{name} must be an integer (got {raw!r})")
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a number (got {raw!r})")
 
 
 @dataclass(frozen=True)
@@ -84,12 +116,28 @@ class ServeConfig:
     #: the engine itself still fans each computation out over the
     #: runtime context's ``jobs`` worker processes.
     compute_workers: int = DEFAULT_COMPUTE_WORKERS
+    #: Cold computations outstanding before new cold keys are shed with
+    #: ``overloaded``; 0 disables shedding. Warm hits and coalesced
+    #: joins are never shed.
+    max_inflight: int = DEFAULT_MAX_INFLIGHT
+    #: Seconds a query may wait for its answer before the *request*
+    #: fails with ``deadline-exceeded`` (the computation continues and
+    #: lands in the LRU); 0 disables the server-side deadline.
+    compute_deadline: float = DEFAULT_COMPUTE_DEADLINE
+    #: Retry-after hint, in seconds, on shed/draining errors.
+    retry_after: float = DEFAULT_RETRY_AFTER
 
     def __post_init__(self) -> None:
         if self.lru_entries < 0:
             raise ValueError("lru_entries must be >= 0")
         if self.compute_workers < 1:
             raise ValueError("compute_workers must be >= 1")
+        if self.max_inflight < 0:
+            raise ValueError("max_inflight must be >= 0")
+        if self.compute_deadline < 0:
+            raise ValueError("compute_deadline must be >= 0")
+        if self.retry_after < 0:
+            raise ValueError("retry_after must be >= 0")
 
     @classmethod
     def from_env(cls, **overrides: Any) -> "ServeConfig":
@@ -100,6 +148,12 @@ class ServeConfig:
             "lru_entries": _env_int("REPRO_SERVE_LRU", DEFAULT_LRU_ENTRIES),
             "compute_workers": _env_int("REPRO_SERVE_WORKERS",
                                         DEFAULT_COMPUTE_WORKERS),
+            "max_inflight": _env_int("REPRO_SERVE_MAX_INFLIGHT",
+                                     DEFAULT_MAX_INFLIGHT),
+            "compute_deadline": _env_float("REPRO_SERVE_DEADLINE",
+                                           DEFAULT_COMPUTE_DEADLINE),
+            "retry_after": _env_float("REPRO_SERVE_RETRY_AFTER",
+                                      DEFAULT_RETRY_AFTER),
         }
         values.update({k: v for k, v in overrides.items() if v is not None})
         return cls(**values)
@@ -145,6 +199,8 @@ class AvfServer:
         self._executor: Optional[ThreadPoolExecutor] = None
         self._stopped: Optional[asyncio.Event] = None
         self._connections: set = set()
+        self._requests: set = set()
+        self._draining = False
         self.port: Optional[int] = None
 
     # -- lifecycle ----------------------------------------------------------
@@ -182,10 +238,45 @@ class AvfServer:
         if self._stopped is not None:
             self._stopped.set()
 
+    async def drain(self) -> None:
+        """Graceful shutdown: answer what is in flight, refuse the rest.
+
+        Stops accepting new connections immediately, marks the server
+        draining (new queries on existing connections get a retryable
+        ``draining`` error), waits for every already-admitted request to
+        be *answered* — computations are never abandoned mid-flight —
+        then stops. Idempotent; a second call just waits alongside.
+        """
+        if self._draining:
+            await self.wait_stopped()
+            return
+        self._draining = True
+        self.stats["serve_drains"] += 1
+        get_runtime().telemetry.increment("serve_drains")
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Admitted requests finish and write their answers; a client may
+        # race a new request in while we wait, so re-snapshot until dry.
+        drained = 0
+        while True:
+            pending = [task for task in self._requests if not task.done()]
+            if not pending:
+                break
+            drained += len(pending)
+            await asyncio.gather(*pending, return_exceptions=True)
+        self.stats["serve_drained_answers"] += drained
+        await self.stop()
+
     async def wait_stopped(self) -> None:
         """Block until :meth:`stop` (or a ``shutdown`` request) completes."""
         assert self._stopped is not None, "server was never started"
         await self._stopped.wait()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
 
     # -- connection handling ------------------------------------------------
 
@@ -225,8 +316,11 @@ class AvfServer:
                     break
                 if not line.strip():
                     continue
-                tasks.append(asyncio.ensure_future(
-                    self._handle_line(line, writer, lock)))
+                task = asyncio.ensure_future(
+                    self._handle_line(line, writer, lock))
+                tasks.append(task)
+                self._requests.add(task)
+                task.add_done_callback(self._requests.discard)
         except asyncio.CancelledError:
             pass  # server stopping: fall through to cleanup
         finally:
@@ -272,6 +366,8 @@ class AvfServer:
                     "status": "warm", "value": "pong"})
             elif op == "stats":
                 await self._handle_stats(request_id, writer, lock)
+            elif op == "health":
+                await self._handle_health(request_id, writer, lock)
             elif op == "store.get":
                 await self._handle_store_get(request, request_id, writer,
                                              lock)
@@ -286,8 +382,8 @@ class AvfServer:
             else:
                 raise ProtocolError(
                     "unknown-op", f"unknown op {op!r}; this server speaks "
-                    "avf, campaign, ping, stats, store.get, store.put, "
-                    "shutdown")
+                    "avf, campaign, ping, stats, health, store.get, "
+                    "store.put, shutdown")
         except ProtocolError as exc:
             self.stats["serve_errors"] += 1
             telemetry.increment("serve_errors")
@@ -296,6 +392,20 @@ class AvfServer:
                 "error": exc.payload()})
 
     # -- the query path: LRU, coalescing, compute ---------------------------
+
+    def _answer_deadline(self, request: Dict[str, Any]) -> Optional[float]:
+        """Effective per-query deadline: min of server's and request's."""
+        raw = request.get("deadline")
+        client = None
+        if isinstance(raw, (int, float)) and not isinstance(raw, bool) \
+                and raw > 0:
+            client = float(raw)
+        server = self.config.compute_deadline or None
+        if client is None:
+            return server
+        if server is None:
+            return client
+        return min(client, server)
 
     async def _handle_query(self, request: Dict[str, Any], request_id,
                             writer: asyncio.StreamWriter,
@@ -312,6 +422,14 @@ class AvfServer:
                 "id": request_id, "event": "result", "ok": True,
                 "status": "warm", "key": key, "value": cached})
             return
+        if self._draining:
+            # Warm answers above stay free during drain; new work does
+            # not start.
+            self.stats["serve_drain_refusals"] += 1
+            telemetry.increment("serve_drain_refusals")
+            raise ProtocolError("draining",
+                                "server is draining; retry another replica",
+                                retry_after=self.config.retry_after)
         future = self._inflight.get(key)
         if future is not None:
             self.stats["serve_coalesced"] += 1
@@ -320,6 +438,17 @@ class AvfServer:
                 "id": request_id, "event": "accepted", "ok": True,
                 "status": "coalesced", "key": key})
         else:
+            if self.config.max_inflight \
+                    and len(self._inflight) >= self.config.max_inflight:
+                # Admission control: shedding protects the engine. The
+                # hint scales with how far past the bound we are.
+                self.stats["serve_shed_requests"] += 1
+                telemetry.increment("serve_shed_requests")
+                raise ProtocolError(
+                    "overloaded",
+                    f"{len(self._inflight)} computations in flight "
+                    f"(bound {self.config.max_inflight}); retry later",
+                    retry_after=self.config.retry_after)
             future = asyncio.get_running_loop().create_future()
             self._inflight[key] = future
             self.stats["serve_queue_peak"] = max(
@@ -328,8 +457,22 @@ class AvfServer:
             await self._send(writer, lock, {
                 "id": request_id, "event": "accepted", "ok": True,
                 "status": "cold", "key": key})
+        deadline = self._answer_deadline(request)
         try:
-            value = await asyncio.shield(future)
+            value = await asyncio.wait_for(asyncio.shield(future), deadline)
+        except asyncio.TimeoutError as exc:
+            if deadline is None:
+                # No deadline was armed: the *compute* raised a timeout.
+                raise ProtocolError(
+                    "compute-failed", f"{type(exc).__name__}: {exc}")
+            # The request fails; the computation keeps running and will
+            # land in the LRU, so the retry is warm.
+            self.stats["serve_deadline_expirations"] += 1
+            telemetry.increment("serve_deadline_expirations")
+            raise ProtocolError(
+                "deadline-exceeded",
+                f"no answer within {deadline}s (computation continues)",
+                retry_after=self.config.retry_after)
         except asyncio.CancelledError:
             raise ProtocolError("shutdown", "server stopped mid-computation")
         except Exception as exc:  # surfaced per-request, server survives
@@ -378,9 +521,40 @@ class AvfServer:
         snapshot = dict(self.stats)
         snapshot["lru_entries"] = len(self._lru)
         snapshot["inflight"] = len(self._inflight)
+        snapshot["draining"] = self._draining
         await self._send(writer, lock, {
             "id": request_id, "event": "result", "ok": True,
             "status": "warm", "value": snapshot})
+
+    async def _handle_health(self, request_id, writer: asyncio.StreamWriter,
+                             lock: asyncio.Lock) -> None:
+        """Live/ready/draining plus the stats a balancer/breaker wants."""
+        inflight = len(self._inflight)
+        shed_bound = self.config.max_inflight
+        value = {
+            "live": True,
+            "ready": (not self._draining
+                      and not (shed_bound and inflight >= shed_bound)),
+            "draining": self._draining,
+            "inflight": inflight,
+            "max_inflight": shed_bound,
+            "lru_entries": len(self._lru),
+            "lru_capacity": self.config.lru_entries,
+            "compute_deadline": self.config.compute_deadline,
+            "counters": {
+                name: self.stats[name]
+                for name in ("serve_requests", "serve_warm_hits",
+                             "serve_cold_computes", "serve_coalesced",
+                             "serve_shed_requests",
+                             "serve_deadline_expirations",
+                             "serve_drain_refusals", "serve_errors",
+                             "serve_compute_failures")
+                if name in self.stats
+            },
+        }
+        await self._send(writer, lock, {
+            "id": request_id, "event": "result", "ok": True,
+            "status": "warm", "value": value})
 
     async def _handle_store_get(self, request: Dict[str, Any], request_id,
                                 writer: asyncio.StreamWriter,
@@ -437,22 +611,50 @@ class AvfServer:
 
 
 async def _serve_until_stopped(config: ServeConfig,
-                               announce: Callable[[str], None]) -> None:
+                               announce: Callable[[str], None]) -> int:
     server = AvfServer(config)
     await server.start()
+    loop = asyncio.get_running_loop()
+    terminated = False
+
+    def _on_sigterm() -> None:
+        nonlocal terminated
+        terminated = True
+        announce("[repro serve] SIGTERM: draining (answering in-flight "
+                 "requests, refusing new work)")
+        asyncio.ensure_future(server.drain())
+
+    # Install the handler *before* announcing readiness: supervisors may
+    # SIGTERM the instant they see the listening line.
+    try:
+        loop.add_signal_handler(signal.SIGTERM, _on_sigterm)
+    except (NotImplementedError, RuntimeError):
+        pass  # platform without loop signal handlers: Ctrl-C still works
     announce(f"[repro serve] listening on {config.host}:{server.port} "
              f"(lru={config.lru_entries}, "
-             f"workers={config.compute_workers})")
+             f"workers={config.compute_workers}, "
+             f"max_inflight={config.max_inflight})")
     try:
         await server.wait_stopped()
     finally:
+        try:
+            loop.remove_signal_handler(signal.SIGTERM)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass
         await server.stop()
+    return DRAIN_EXIT_CODE if terminated else 0
 
 
 def serve_forever(config: ServeConfig,
-                  announce: Callable[[str], None] = print) -> None:
-    """Blocking entry point for ``repro serve`` (Ctrl-C stops cleanly)."""
+                  announce: Callable[[str], None] = print) -> int:
+    """Blocking entry point for ``repro serve``.
+
+    Returns the process exit code: 0 after a clean stop (Ctrl-C or a
+    wire ``shutdown``), :data:`DRAIN_EXIT_CODE` (143 = 128+SIGTERM)
+    after a SIGTERM-triggered graceful drain — distinct so supervisors
+    can tell a commanded drain from a normal exit.
+    """
     try:
-        asyncio.run(_serve_until_stopped(config, announce))
+        return asyncio.run(_serve_until_stopped(config, announce))
     except KeyboardInterrupt:
-        pass
+        return 0
