@@ -182,6 +182,11 @@ def build_parser() -> argparse.ArgumentParser:
              "interval-compressed kernel (slower; every report is "
              "bit-identical either way)")
     parser.add_argument(
+        "--no-chunk-memo", action="store_true",
+        help="run the interval kernel without basic-block chunk "
+             "memoization (slower on repetitive workloads; cycles, "
+             "intervals, and cache keys are bit-identical either way)")
+    parser.add_argument(
         "--no-static-filter", action="store_true",
         help="disable the effect oracle's static pre-filter (every "
              "strike is classified by re-execution, as in the original "
@@ -309,6 +314,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                             static_filter=not args.no_static_filter,
                             interval_kernel=not args.no_interval_kernel,
                             batch_strikes=not args.no_batch_strikes,
+                            chunk_memo=not args.no_chunk_memo,
                             service=args.service,
                             service_timeout=args.service_timeout)
     except ValueError as exc:

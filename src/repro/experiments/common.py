@@ -256,7 +256,8 @@ def run_benchmarks(
                 pending, settings, trigger, effective_jobs,
                 cache_dir=runtime.cache_dir, telemetry=runtime.telemetry,
                 policy=runtime.policy, chaos=runtime.chaos,
-                interval_kernel=runtime.interval_kernel)
+                interval_kernel=runtime.interval_kernel,
+                chunk_memo=runtime.chunk_memo)
             for profile, run in zip(pending, runs):
                 _run_cache[_run_key(
                     profile, settings,

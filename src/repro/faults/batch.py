@@ -165,8 +165,7 @@ def _residency_columns(result: PipelineResult):
             cumulative = array("q")
             cumulative.frombytes(_np.cumsum(res_arr).tobytes())
             return alloc, resident, cumulative
-        resident = array("q", (d - a for a, d in zip(alloc,
-                                                     timeline.dealloc)))
+        return timeline.residency_prefix_sums()
     else:
         alloc = array("q", (iv.alloc_cycle for iv in result.intervals))
         resident = array("q",

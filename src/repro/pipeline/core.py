@@ -190,13 +190,22 @@ class PipelineSimulator:
         The interval-compressed kernel (:mod:`repro.pipeline.kernel`) is
         the default; it is bit-identical to :meth:`run_per_cycle` — same
         cycle counts, intervals, stats, and RNG stream — just faster.
+        With ``chunk_memo`` on (the default) the kernel additionally
+        memoizes basic-block chunk deltas and replays them on repeat
+        visits (:mod:`repro.pipeline.compose`), still bit-identical.
+        ``--no-chunk-memo`` selects the plain interval kernel;
         ``--no-interval-kernel`` (RuntimeContext.interval_kernel=False)
         selects the legacy per-cycle loop.
         """
         from repro.runtime.context import get_runtime
 
+        runtime = get_runtime()
         with _gc_paused():
-            if get_runtime().interval_kernel:
+            if runtime.interval_kernel:
+                if runtime.chunk_memo:
+                    from repro.pipeline.compose import run_composed
+
+                    return run_composed(self)
                 from repro.pipeline.kernel import run_interval
 
                 return run_interval(self)
@@ -319,10 +328,26 @@ class PipelineSimulator:
                             trace_ptr = min(trace_ptr, rewind_to)
                         if victim_has_branch:
                             # The mispredicted branch itself was squashed:
-                            # its wrong path evaporates with it.
+                            # its wrong path evaporates with it. Under
+                            # windowed OoO issue some wrong-path entries may
+                            # already have issued and survived the victim
+                            # cut; with the redirect cancelled nothing else
+                            # would ever remove them, and a wrong-path entry
+                            # at the queue head blocks commit forever (the
+                            # mcf-181 OOO+L0 deadlock). Flush them like a
+                            # redirect would.
                             wrong_path_mode = False
                             pending_redirect = None
                             mispredicted_entry = None
+                            if any(entry.wrong_path for entry in queue):
+                                kept = []
+                                for entry in queue:
+                                    if entry.wrong_path:
+                                        close(entry, OccupantKind.WRONG_PATH,
+                                              cycle)
+                                    else:
+                                        kept.append(entry)
+                                queue = kept
                     if cfg.squash.resume_at_miss_return:
                         fetch_resume = max(
                             fetch_resume, cycle + 1,

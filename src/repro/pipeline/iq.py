@@ -159,6 +159,102 @@ class IntervalTimeline(Sequence):
         """Sum of ``dealloc - alloc`` without touching objects."""
         return sum(self.dealloc) - sum(self.alloc)
 
+    def residency_prefix_sums(self) -> Tuple[array, array, array]:
+        """``(alloc, resident, cumulative)`` columns of the interval log.
+
+        ``resident[i]`` is ``dealloc[i] - alloc[i]`` and ``cumulative`` its
+        running sum — the coordinate system the strike batcher places
+        uniform entry-cycle points in. Splicing relocated blocks must leave
+        these columns identical to a timeline rebuilt from flat records;
+        the hypothesis round-trip suite pins that.
+        """
+        alloc = self.alloc
+        resident = array("q", (d - a for a, d in zip(alloc, self.dealloc)))
+        cumulative = array("q")
+        total = 0
+        for r in resident:
+            total += r
+            cumulative.append(total)
+        return alloc, resident, cumulative
+
+    # -- relocatable column blocks (chunk-compositional fast path) ---------
+
+    def block(self, start: int, stop: int) -> "IntervalBlock":
+        """Column slice ``[start, stop)`` as a relocatable block."""
+        return IntervalBlock(
+            self.seq[start:stop], self.kind[start:stop],
+            self.alloc[start:stop], self.issue[start:stop],
+            self.dealloc[start:stop], self.instr[start:stop])
+
+    @classmethod
+    def from_blocks(
+        cls, blocks: Sequence["IntervalBlock"]) -> "IntervalTimeline":
+        """Concatenate blocks (already shifted) into one timeline."""
+        timeline = cls(())
+        seq = array("q")
+        kind = array("b")
+        alloc = array("q")
+        issue = array("q")
+        dealloc = array("q")
+        instr: List[Instruction] = []
+        for b in blocks:
+            seq.extend(b.seq)
+            kind.extend(b.kind)
+            alloc.extend(b.alloc)
+            issue.extend(b.issue)
+            dealloc.extend(b.dealloc)
+            instr.extend(b.instr)
+        timeline.seq, timeline.kind = seq, kind
+        timeline.alloc, timeline.issue, timeline.dealloc = \
+            alloc, issue, dealloc
+        timeline.instr = tuple(instr)
+        return timeline
+
+
+class IntervalBlock:
+    """A contiguous run of timeline rows with relocatable cycle columns.
+
+    The chunk-compositional fast path memoizes a chunk's interval rows
+    with entry-relative cycles; on replay :meth:`shifted` rebases them to
+    the live entry cycle (and seq base) and the rows are spliced back
+    onto the flat log. ``NO_VALUE`` survives both shifts untouched —
+    "never issued" and "no seq" are positions, not offsets.
+    """
+
+    __slots__ = ("seq", "kind", "alloc", "issue", "dealloc", "instr")
+
+    def __init__(self, seq: array, kind: array, alloc: array, issue: array,
+                 dealloc: array, instr: Tuple[Instruction, ...]) -> None:
+        self.seq = seq
+        self.kind = kind
+        self.alloc = alloc
+        self.issue = issue
+        self.dealloc = dealloc
+        self.instr = instr
+
+    def __len__(self) -> int:
+        return len(self.kind)
+
+    def shifted(self, cycle_delta: int, seq_delta: int = 0) -> \
+            "IntervalBlock":
+        """A copy rebased by ``cycle_delta`` cycles / ``seq_delta`` seqs."""
+        seq = array("q", (s if s == NO_VALUE else s + seq_delta
+                          for s in self.seq))
+        issue = array("q", (i if i == NO_VALUE else i + cycle_delta
+                            for i in self.issue))
+        alloc = array("q", (a + cycle_delta for a in self.alloc))
+        dealloc = array("q", (d + cycle_delta for d in self.dealloc))
+        return IntervalBlock(seq, array("b", self.kind), alloc, issue,
+                             dealloc, self.instr)
+
+    def rows(self) -> Iterator[tuple]:
+        """The flat ``(seq, kind, alloc, issue, dealloc, instr)`` records."""
+        return zip(self.seq, self.kind, self.alloc, self.issue,
+                   self.dealloc, self.instr)
+
+    def __repr__(self) -> str:
+        return f"IntervalBlock({len(self)} rows)"
+
     # -- pickling (the persistent timeline store ships these) --------------
 
     def __getstate__(self) -> tuple:
@@ -168,4 +264,3 @@ class IntervalTimeline(Sequence):
     def __setstate__(self, state: tuple) -> None:
         (self.seq, self.kind, self.alloc, self.issue, self.dealloc,
          self.instr) = state
-        self._materialized = None

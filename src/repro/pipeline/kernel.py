@@ -249,10 +249,28 @@ def run_interval(sim) -> PipelineResult:
                         trace_ptr = rewind_to
                     if victim_has_branch:
                         # The mispredicted branch itself was squashed: its
-                        # wrong path evaporates with it.
+                        # wrong path evaporates with it. Under windowed OoO
+                        # issue some wrong-path entries may already have
+                        # issued and survived the victim cut; with the
+                        # redirect cancelled nothing else would ever remove
+                        # them, and a wrong-path entry at the queue head
+                        # blocks commit forever (the mcf-181 OOO+L0
+                        # deadlock). Flush them like a redirect would.
                         wrong_path_mode = False
                         pending_redirect = None
                         mispredicted_entry = None
+                        if any(entry[E_WRONG] for entry in queue):
+                            kept = []
+                            for entry in queue:
+                                if entry[E_WRONG]:
+                                    ic = entry[E_ISSUE]
+                                    log_append((-1, KIND_WRONG_PATH,
+                                                entry[E_ALLOC],
+                                                -1 if ic is None else ic,
+                                                cycle, entry[E_INSTR]))
+                                else:
+                                    kept.append(entry)
+                            queue = kept
                 if resume_at_miss_return:
                     fetch_resume = max(fetch_resume, cycle + 1,
                                        miss_return - frontend_depth)

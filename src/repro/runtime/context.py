@@ -50,6 +50,11 @@ class RuntimeContext:
     #: (``--no-batch-strikes`` selects per-trial sampling; tallies,
     #: cache keys, and oracle counters are bit-identical either way).
     batch_strikes: bool = True
+    #: Memoize basic-block chunk deltas inside the interval kernel and
+    #: replay them on repeat visits (``--no-chunk-memo`` turns the
+    #: fast path off; cycles, intervals, stats, RNG stream, and timing
+    #: cache keys are bit-identical either way).
+    chunk_memo: bool = True
     #: ``host:port`` of a running ``repro serve`` instance to use as the
     #: fleet-wide timeline store (``--service`` / ``REPRO_SERVICE``).
     #: Timing entries missing locally are fetched from it and computed
@@ -109,6 +114,7 @@ def configure(
     static_filter: bool = True,
     interval_kernel: bool = True,
     batch_strikes: bool = True,
+    chunk_memo: bool = True,
     service: Optional[str] = None,
     service_timeout: Optional[float] = None,
 ) -> RuntimeContext:
@@ -133,6 +139,7 @@ def configure(
         else Path(checkpoint_dir),
         resume=resume, static_filter=static_filter,
         interval_kernel=interval_kernel, batch_strikes=batch_strikes,
+        chunk_memo=chunk_memo,
         service=service, service_timeout=service_timeout))
 
 
@@ -150,6 +157,7 @@ def use_runtime(
     static_filter: bool = True,
     interval_kernel: bool = True,
     batch_strikes: bool = True,
+    chunk_memo: bool = True,
     service: Optional[str] = None,
     service_timeout: Optional[float] = None,
 ) -> Iterator[RuntimeContext]:
@@ -167,6 +175,7 @@ def use_runtime(
                              static_filter=static_filter,
                              interval_kernel=interval_kernel,
                              batch_strikes=batch_strikes,
+                             chunk_memo=chunk_memo,
                              service=service,
                              service_timeout=service_timeout)
     previous = get_runtime()

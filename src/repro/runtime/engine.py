@@ -93,7 +93,7 @@ def _worker_counters(context) -> dict:
 
 def _benchmark_task(profile, settings, trigger, cache_dir: Optional[str],
                     chaos: Optional[ChaosConfig], interval_kernel: bool,
-                    attempt: int):
+                    chunk_memo: bool, attempt: int):
     """Worker: one full benchmark run under a private serial context."""
     from repro.experiments.common import run_benchmark
     from repro.runtime.cache import ResultCache
@@ -103,7 +103,8 @@ def _benchmark_task(profile, settings, trigger, cache_dir: Optional[str],
         ChaosInjector(chaos).maybe_kill(("benchmark", profile.name), attempt)
     cache = ResultCache(cache_dir) if cache_dir else None
     context = set_runtime(RuntimeContext(jobs=1, cache=cache,
-                                         interval_kernel=interval_kernel))
+                                         interval_kernel=interval_kernel,
+                                         chunk_memo=chunk_memo))
     began = time.perf_counter()
     run = run_benchmark(profile, settings, trigger)
     elapsed = time.perf_counter() - began
@@ -120,6 +121,7 @@ def run_benchmarks_parallel(
     policy: Optional[RetryPolicy] = None,
     chaos: Optional[ChaosConfig] = None,
     interval_kernel: bool = True,
+    chunk_memo: bool = True,
 ) -> List[Any]:
     """Map ``run_benchmark`` over profiles across supervised processes.
 
@@ -142,7 +144,7 @@ def run_benchmarks_parallel(
     tasks = [
         SupervisedTask(fn=_benchmark_task,
                        args=(profile, settings, trigger, cache_dir, chaos,
-                             interval_kernel),
+                             interval_kernel, chunk_memo),
                        items=1, key=profile.name, deadline=False)
         for profile in profiles
     ]

@@ -109,6 +109,9 @@ class Telemetry:
         batch = self._format_batch()
         if batch:
             parts.append(batch)
+        chunk = self._format_chunk_memo()
+        if chunk:
+            parts.append(chunk)
         serve = self._format_serve()
         if serve:
             parts.append(serve)
@@ -142,6 +145,13 @@ class Telemetry:
                     f"  timeline store: "
                     f"{self.counters['timeline_store_hits']} pipeline runs "
                     f"served without simulation")
+            footprint = self._chunk_memo_footprint()
+            if footprint is not None and footprint["segments"]:
+                lines.append(
+                    f"  chunk memo: {footprint['segments']} segments over "
+                    f"{footprint['keys']} keys in {footprint['scopes']} "
+                    f"scopes, {footprint['bytes'] / (1 << 20):.1f} MiB "
+                    f"resident")
             for name in sorted(self.counters):
                 lines.append(f"  {name}: {self.counters[name]}")
         return "\n".join(lines)
@@ -158,6 +168,36 @@ class Telemetry:
         fast = memo + static
         return (f"oracle: {memo} memo hits, {static} static kills, "
                 f"{executed} re-executions ({fast / total:.0%} fast path)")
+
+    def _format_chunk_memo(self) -> str:
+        """Chunk-memo account, empty when the fast path never engaged."""
+        c = self.counters
+        hits = c["chunk_memo_hits"]
+        misses = c["chunk_memo_misses"]
+        if not (hits or misses or c["chunk_memo_fallbacks"]):
+            return ""
+        total = hits + misses
+        rate = f" ({hits / total:.0%} hit rate)" if total else ""
+        text = (f"chunk memo: {hits} hits, {misses} misses{rate}, "
+                f"{c['chunk_memo_splices']} rows spliced")
+        detail = []
+        if c["chunk_memo_fallbacks"]:
+            detail.append(f"{c['chunk_memo_fallbacks']} fallbacks")
+        if c["chunk_memo_evictions"]:
+            detail.append(f"{c['chunk_memo_evictions']} evicted")
+        if detail:
+            text += f" [{', '.join(detail)}]"
+        return text
+
+    @staticmethod
+    def _chunk_memo_footprint() -> Optional[dict]:
+        """In-process memo size, None when compose was never imported."""
+        import sys
+
+        compose = sys.modules.get("repro.pipeline.compose")
+        if compose is None:
+            return None
+        return compose.chunk_memo_footprint()
 
     def _format_batch(self) -> str:
         """Vectorised-strike account, empty when no batch was classified.

@@ -1,0 +1,129 @@
+"""The SimPoint-scale workload catalogue (`repro.workloads.scaled`).
+
+Scaled traces are the chunk memo's target workload: a profile's dynamic
+basic-block stream tiled to 200k-2M committed instructions with dense
+sequence numbers and shared instruction objects. The catalogue must be
+deterministic — the digests pinned here are the ones the benchmark
+harness relies on when it claims byte-identical outputs across kernels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.scaled import (
+    BASE_INSTRUCTIONS,
+    SCALED_SEED,
+    SCALED_WORKLOADS,
+    ScaledWorkload,
+    build_scaled,
+    clear_scaled_cache,
+    get_scaled,
+    scale_trace,
+    trace_digest,
+)
+from repro.workloads.spec2000 import ALL_PROFILES
+
+#: name -> (sha256 of the timing-relevant row content, row count).
+PINNED = {
+    "mcf-200k": (
+        "d4e26f40bbef0826ed4ed2c9539a2597f25306f1b692aec47e32f4130ced7bd6",
+        201135),
+    "crafty-200k": (
+        "59eff303b3991e01079bcb5fd4b39e2e5d8e63a30d564cfac45ee6c67771228c",
+        200397),
+    "equake-200k": (
+        "fbeb2bb731f3d376ca4f430e9ba3d1977214e6ffbe85a348d84e2919226ea8af",
+        200514),
+}
+
+
+class TestCatalogue:
+    def test_every_profile_has_a_200k_entry(self):
+        names = {w.name for w in SCALED_WORKLOADS}
+        for profile in ALL_PROFILES:
+            assert f"{profile.name}-200k" in names
+
+    def test_deep_tier_entries(self):
+        for name in ("mcf-2m", "crafty-2m", "equake-2m"):
+            workload = get_scaled(name)
+            assert workload.target_instructions == 2_000_000
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown scaled workload"):
+            get_scaled("nonesuch-9000")
+
+    @pytest.mark.parametrize("name", sorted(PINNED))
+    def test_pinned_digests(self, name):
+        program, trace = build_scaled(name)
+        digest, rows = PINNED[name]
+        assert len(trace) == rows
+        assert trace_digest(trace) == digest
+        workload = get_scaled(name)
+        assert len(trace) >= workload.target_instructions
+
+    def test_build_is_cached_per_process(self):
+        first = build_scaled("mcf-200k")
+        assert build_scaled("mcf-200k") is first
+        clear_scaled_cache()
+        rebuilt = build_scaled("mcf-200k")
+        assert rebuilt is not first
+        assert trace_digest(rebuilt[1]) == trace_digest(first[1])
+
+
+class TestScaleTrace:
+    def _base(self):
+        program, trace = build_scaled(ScaledWorkload(
+            name="mcf-base", base_profile="mcf",
+            target_instructions=1), cache=False)
+        return trace
+
+    def test_seq_is_dense(self):
+        base = self._base()
+        scaled = scale_trace(base, 7)
+        assert len(scaled) == 7 * len(base)
+        for index, op in enumerate(scaled):
+            assert op.seq == index
+
+    def test_rows_share_instruction_objects(self):
+        base = self._base()
+        scaled = scale_trace(base, 3)
+        n = len(base)
+        for tile in range(3):
+            for offset in range(n):
+                assert scaled[tile * n + offset].instruction \
+                    is base[offset].instruction
+
+    def test_all_fields_preserved(self):
+        base = self._base()
+        scaled = scale_trace(base, 2)
+        n = len(base)
+        for offset, op in enumerate(base):
+            copy = scaled[n + offset]
+            assert copy.pc == op.pc
+            assert copy.executed == op.executed
+            assert copy.dest_gpr == op.dest_gpr
+            assert copy.dest_pred == op.dest_pred
+            assert copy.src_gprs == op.src_gprs
+            assert copy.mem_addr == op.mem_addr
+            assert copy.is_store == op.is_store
+            assert copy.is_load == op.is_load
+            assert copy.branch_taken == op.branch_taken
+            assert copy.next_pc == op.next_pc
+            assert copy.invocation == op.invocation
+            assert copy.is_output == op.is_output
+
+    def test_factor_below_one_rejected(self):
+        base = self._base()
+        with pytest.raises(ValueError):
+            scale_trace(base, 0)
+
+    def test_identity_factor(self):
+        base = self._base()
+        assert trace_digest(scale_trace(base, 1)) == trace_digest(base)
+
+    def test_determinism_constants(self):
+        # The catalogue's determinism contract: these constants are part
+        # of the pinned digests above and must not drift silently.
+        assert SCALED_SEED == 20_040_619
+        assert BASE_INSTRUCTIONS == 3_000

@@ -491,16 +491,14 @@ class TestTelemetryAndFlags:
             reset_runtime()
 
 
-@pytest.mark.xfail(
-    strict=False,
-    reason="mcf-181 OOO+L0 baseline pathology (ROADMAP open item): the "
-           "scheduler window fills with miss-dependent loads, the L0 "
-           "trigger fires on nearly every issue group, and the baseline "
-           "exceeds the 30M-cycle budget; needs a machine-model fix")
 def test_mcf_ooo_l0_baseline_completes():
-    """Pinned target for the future machine-model fix: the mcf profile
-    under OOO_WINDOW issue with the L0-miss squash trigger must finish
-    within the default 30M-cycle budget."""
+    """Regression pin for the mcf OOO+L0 deadlock fix.
+
+    The pathology was never scheduler pressure: an issued wrong-path
+    load could survive its own squash window as an orphan and stall the
+    OOO commit scan forever. The kernel and per-cycle loops now flush
+    issued wrong-path entries whose resolution window has passed, so
+    this baseline must finish within the default 30M-cycle budget."""
     profile = get_profile("mcf")
     prog = synthesize(profile, target_instructions=24_000, seed=2004)
     baseline = FunctionalSimulator(prog).run()

@@ -19,6 +19,13 @@ passes — the run aborts if not. Results land in ``BENCH_exhibits.json``
 and the process exits non-zero when the cold speedup drops below
 ``--min-cold-speedup`` or the warm speedup below ``--min-warm-speedup``.
 
+A second head-to-head times the chunk-compositional memo on a
+SimPoint-scale catalogue workload (``--chunk-workload``, low-bubble
+machine): plain interval kernel vs ``run_composed`` with a cold memo vs
+a warm memo. All three results must be byte-identical (stats, interval
+columns, timeline-store cache key); the cold-memo speedup is gated by
+``--min-chunk-speedup``.
+
     PYTHONPATH=src python tools/bench_exhibits.py
     PYTHONPATH=src python tools/bench_exhibits.py --small   # CI smoke
 """
@@ -42,8 +49,14 @@ from repro.experiments import (
     table1,
 )
 from repro.experiments.common import ExperimentSettings, clear_caches
-from repro.pipeline.core import clear_warm_snapshots
+from repro.pipeline import compose
+from repro.pipeline.compose import clear_chunk_memos, run_composed
+from repro.pipeline.config import MachineConfig, SquashConfig, Trigger
+from repro.pipeline.core import PipelineSimulator, clear_warm_snapshots
+from repro.pipeline.kernel import run_interval
+from repro.runtime.cache import cache_key
 from repro.runtime.context import use_runtime
+from repro.workloads.scaled import build_scaled
 from repro.workloads.spec2000 import ALL_PROFILES
 
 
@@ -97,6 +110,67 @@ def sim_counters(telemetry):
                          "timeline_store_hits")}
 
 
+def _chunk_identical(a, b):
+    """True when two timing results are indistinguishable downstream."""
+    ta, tb = a.intervals, b.intervals
+    return (a.cycles == b.cycles and a.stats == b.stats
+            and list(ta.seq) == list(tb.seq)
+            and list(ta.alloc) == list(tb.alloc)
+            and list(ta.issue) == list(tb.issue)
+            and list(ta.dealloc) == list(tb.dealloc)
+            and cache_key(a) == cache_key(b))
+
+
+def bench_chunk_memo(workload: str, seed: int):
+    """Interval kernel vs composed (cold memo) vs composed (warm memo).
+
+    The gate workload is low-bubble by construction: the memo's payoff
+    case is draw-free chunk repetition (bubbled machines are covered by
+    the exact differential suite, not this wall-clock gate).
+    """
+    program, trace = build_scaled(workload)
+    machine = MachineConfig(fetch_bubble_prob=0.0,
+                            squash=SquashConfig(trigger=Trigger.L1_MISS))
+
+    def sim():
+        return PipelineSimulator(program, trace, machine, seed=seed)
+
+    clear_chunk_memos()
+    started = time.perf_counter()
+    plain = run_interval(sim())
+    interval_s = time.perf_counter() - started
+
+    before = (compose.chunk_memo_hits, compose.chunk_memo_misses,
+              compose.chunk_memo_fallbacks, compose.chunk_memo_splices)
+    started = time.perf_counter()
+    cold = run_composed(sim())
+    cold_s = time.perf_counter() - started
+    started = time.perf_counter()
+    warm = run_composed(sim())
+    warm_s = time.perf_counter() - started
+    after = (compose.chunk_memo_hits, compose.chunk_memo_misses,
+             compose.chunk_memo_fallbacks, compose.chunk_memo_splices)
+    counters = dict(zip(("hits", "misses", "fallbacks", "splices"),
+                        (b - a for a, b in zip(before, after))))
+    clear_chunk_memos()
+    return {
+        "workload": workload,
+        "rows": len(trace),
+        "seconds": {"interval": round(interval_s, 3),
+                    "cold": round(cold_s, 3),
+                    "warm": round(warm_s, 3)},
+        "speedup": {
+            "cold_vs_interval": round(interval_s / cold_s, 2)
+            if cold_s > 0 else float("inf"),
+            "warm_vs_interval": round(interval_s / warm_s, 2)
+            if warm_s > 0 else float("inf"),
+        },
+        "memo": counters,
+        "outputs_identical": (_chunk_identical(plain, cold)
+                              and _chunk_identical(plain, warm)),
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="Time the exhibit suite under the interval kernel and "
@@ -109,11 +183,20 @@ def main() -> int:
                         help="CI preset: 6 profiles x 6000 instructions")
     parser.add_argument("--min-cold-speedup", type=float, default=3.0)
     parser.add_argument("--min-warm-speedup", type=float, default=10.0)
+    parser.add_argument("--chunk-workload", default=None,
+                        help="scaled workload for the chunk-memo "
+                             "head-to-head (default: mcf-2m, or "
+                             "mcf-200k under --small)")
+    parser.add_argument("--min-chunk-speedup", type=float, default=3.0,
+                        help="required cold-memo speedup over the plain "
+                             "interval kernel on --chunk-workload")
     parser.add_argument("--output", default="BENCH_exhibits.json")
     args = parser.parse_args()
     if args.small:
         args.instructions = min(args.instructions, 6000)
         args.profiles = min(args.profiles or 6, 6)
+    if args.chunk_workload is None:
+        args.chunk_workload = "mcf-200k" if args.small else "mcf-2m"
 
     settings = ExperimentSettings(target_instructions=args.instructions,
                                   seed=args.seed)
@@ -162,6 +245,16 @@ def main() -> int:
         print(f"warm (populated store): {warm_s:.2f}s  {warm_sims}")
     fresh()
 
+    # ---- chunk-memo head-to-head on a SimPoint-scale workload -----------
+    chunk = bench_chunk_memo(args.chunk_workload, args.seed)
+    print(f"chunk memo ({chunk['workload']}, {chunk['rows']} rows): "
+          f"interval {chunk['seconds']['interval']:.2f}s, "
+          f"cold {chunk['seconds']['cold']:.2f}s "
+          f"({chunk['speedup']['cold_vs_interval']:.2f}x), "
+          f"warm {chunk['seconds']['warm']:.2f}s "
+          f"({chunk['speedup']['warm_vs_interval']:.2f}x)  "
+          f"{chunk['memo']}")
+
     failures = []
     for name in seed_out:
         if cold_out[name] != seed_out[name]:
@@ -182,6 +275,14 @@ def main() -> int:
     if speedup_warm < args.min_warm_speedup:
         failures.append(f"warm speedup {speedup_warm:.2f}x below the "
                         f"required {args.min_warm_speedup:.2f}x")
+    if not chunk["outputs_identical"]:
+        failures.append("chunk-memo composed run is not byte-identical "
+                        "to the plain interval kernel")
+    if chunk["speedup"]["cold_vs_interval"] < args.min_chunk_speedup:
+        failures.append(
+            f"chunk-memo cold speedup "
+            f"{chunk['speedup']['cold_vs_interval']:.2f}x below the "
+            f"required {args.min_chunk_speedup:.2f}x")
 
     record = {
         "suite": {
@@ -204,8 +305,10 @@ def main() -> int:
         "speedup": {"cold_vs_seed": round(speedup_cold, 2),
                     "warm_vs_seed": round(speedup_warm, 2)},
         "outputs_identical": not any("differs" in f for f in failures),
+        "chunk_memo": chunk,
         "requirements": {"min_cold_speedup": args.min_cold_speedup,
-                         "min_warm_speedup": args.min_warm_speedup},
+                         "min_warm_speedup": args.min_warm_speedup,
+                         "min_chunk_speedup": args.min_chunk_speedup},
         "passed": not failures,
     }
     Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
