@@ -1,0 +1,182 @@
+"""FIT projection across technology nodes and radiation environments.
+
+The campaign layer produces dimensionless AVFs; turning them into
+failure rates needs two physical inputs (paper Section 2): the raw
+per-bit soft-error rate of the storage technology and the particle-flux
+multiplier of the operating environment. This module carries published
+reference values for both and composes them with injected AVFs into a
+deterministic node x environment FIT matrix::
+
+    FIT(structure) = raw_FIT/Mb(node) x Mb(structure) x flux(env) x AVF
+
+so the ECC design-space sweep (:mod:`repro.experiments.fitsweep`) can
+report each scheme's residual SDC/DUE rates as failure intervals a
+reliability budget can be checked against. Because the node and
+environment factors multiply *every* scheme's FIT by the same constant,
+the scheme ranking is node- and environment-independent — it is decided
+by the residual AVFs alone, with check-bit overhead as the tie-breaker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.avf.mitf import mttf_years_from_fit
+from repro.due.tracking import (
+    CHECK_BITS,
+    BurstAction,
+    EccScheme,
+    classify_burst,
+)
+from repro.faults.mbu import CANONICAL_MASKS, BurstPattern, MbuPreset
+
+#: Published per-technology raw SER of SRAM, in FIT per megabit. The
+#: downward march reflects the shrinking collected charge per cell and
+#: the move to FinFETs; values follow the vendor-reported curve used in
+#: recent reliability surveys.
+FIT_PER_MEGABIT: Dict[str, float] = {
+    "28nm": 74.0,
+    "16nm": 5.0,
+    "7nm": 0.4,
+}
+
+#: Neutron/proton flux multiplier relative to sea level (terrestrial
+#: consumer parts): commercial avionics cruise altitude sees a few
+#: hundred times the sea-level flux, low-earth orbit several tens of
+#: thousands.
+ENV_MULTIPLIER: Dict[str, float] = {
+    "consumer": 1.0,
+    "avionics": 300.0,
+    "space": 50_000.0,
+}
+
+#: Deterministic iteration orders for exhibits (insertion order above is
+#: already scaled; pin it explicitly so formatting never depends on dict
+#: semantics).
+NODES: Tuple[str, ...] = ("28nm", "16nm", "7nm")
+ENVIRONMENTS: Tuple[str, ...] = ("consumer", "avionics", "space")
+
+#: The modeled 64-entry, 41-bit instruction queue.
+DEFAULT_STRUCTURE_BITS = 64 * 41
+
+_BITS_PER_MEGABIT = 1e6
+
+
+def raw_structure_fit(node: str, bits: int = DEFAULT_STRUCTURE_BITS,
+                      environment: str = "consumer") -> float:
+    """Raw (AVF = 1) FIT of a ``bits``-bit structure at ``node``/``env``."""
+    if node not in FIT_PER_MEGABIT:
+        raise ValueError(
+            f"unknown technology node {node!r}; choose from "
+            f"{', '.join(NODES)}")
+    if environment not in ENV_MULTIPLIER:
+        raise ValueError(
+            f"unknown environment {environment!r}; choose from "
+            f"{', '.join(ENVIRONMENTS)}")
+    if bits <= 0:
+        raise ValueError("structure size must be positive")
+    return (FIT_PER_MEGABIT[node] * (bits / _BITS_PER_MEGABIT)
+            * ENV_MULTIPLIER[environment])
+
+
+@dataclass(frozen=True)
+class FitCell:
+    """One (node, environment) cell of a FIT projection."""
+
+    node: str
+    environment: str
+    sdc_fit: float
+    due_fit: float
+
+    @property
+    def total_fit(self) -> float:
+        return self.sdc_fit + self.due_fit
+
+    @property
+    def mttf_years(self) -> float:
+        """MTTF implied by the cell's total FIT (inf when FIT is zero)."""
+        if self.total_fit <= 0.0:
+            return float("inf")
+        return mttf_years_from_fit(self.total_fit)
+
+
+def fit_matrix(sdc_avf: float, due_avf: float,
+               bits: int = DEFAULT_STRUCTURE_BITS) -> Tuple[FitCell, ...]:
+    """Every (node, environment) FIT cell for one AVF pair, in pinned order."""
+    for name, avf in (("sdc", sdc_avf), ("due", due_avf)):
+        if not 0.0 <= avf <= 1.0:
+            raise ValueError(f"{name} AVF must be in [0, 1], got {avf}")
+    cells = []
+    for node in NODES:
+        for environment in ENVIRONMENTS:
+            raw = raw_structure_fit(node, bits, environment)
+            cells.append(FitCell(node, environment,
+                                 sdc_fit=raw * sdc_avf,
+                                 due_fit=raw * due_avf))
+    return tuple(cells)
+
+
+def action_fractions(scheme: Optional[EccScheme],
+                     preset: MbuPreset) -> Dict[BurstAction, float]:
+    """Analytic decoder action mix of ``scheme`` under ``preset``'s PMF.
+
+    Weighs :func:`~repro.due.tracking.classify_burst` over the canonical
+    mask of each drawable pattern (classification depends only on the
+    pattern's weight/adjacency shape, so the canonical mask stands for
+    every drawn mask). ``scheme=None`` models the unprotected queue:
+    everything escapes. This is the closed-form reference the injected
+    campaign estimates converge to — the sweep exhibit prints both.
+    """
+    fractions = {action: 0.0 for action in BurstAction}
+    for pattern in BurstPattern:
+        probability = preset.probability(pattern)
+        if scheme is None:
+            action = BurstAction.ESCAPE
+        else:
+            action = classify_burst(scheme, CANONICAL_MASKS[pattern])
+        fractions[action] += probability
+    return fractions
+
+
+def rank_schemes(
+    residuals: Dict[EccScheme, Tuple[float, float]],
+) -> Tuple[EccScheme, ...]:
+    """Schemes ordered best-first by residual failure rate.
+
+    ``residuals`` maps each scheme to its measured ``(sdc_avf,
+    due_avf)`` pair. Raw node/environment FIT is a constant multiplier
+    across schemes, so the FIT ranking reduces to the AVF pairs: silent
+    corruption first (the reliability budget's hard currency), detected
+    rate second, check-bit overhead as the final tie-breaker (cheapest
+    adequate code wins).
+    """
+    def key(scheme: EccScheme):
+        sdc, due = residuals[scheme]
+        return (sdc, due, CHECK_BITS[scheme])
+
+    return tuple(sorted(residuals, key=key))
+
+
+def scheme_fit_cells(
+    scheme_residuals: Dict[EccScheme, Tuple[float, float]],
+    bits: int = DEFAULT_STRUCTURE_BITS,
+) -> Dict[EccScheme, Tuple[FitCell, ...]]:
+    """The full node x environment matrix for every swept scheme."""
+    return {scheme: fit_matrix(sdc, due, bits)
+            for scheme, (sdc, due) in scheme_residuals.items()}
+
+
+__all__ = [
+    "FIT_PER_MEGABIT",
+    "ENV_MULTIPLIER",
+    "NODES",
+    "ENVIRONMENTS",
+    "DEFAULT_STRUCTURE_BITS",
+    "raw_structure_fit",
+    "FitCell",
+    "fit_matrix",
+    "action_fractions",
+    "rank_schemes",
+    "scheme_fit_cells",
+]

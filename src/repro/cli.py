@@ -36,18 +36,21 @@ import sys
 import time
 from typing import Callable, Dict, List, Optional
 
+from repro.due.tracking import EccScheme
 from repro.experiments import (
     ablations,
     figure1,
     figure2,
     figure3,
     figure4,
+    fitsweep,
     occupancy,
     regfile,
     table1,
     table2,
 )
 from repro.experiments.common import ExperimentSettings
+from repro.faults.mbu import PRESETS
 from repro.runtime.chaos import CHAOS_MODES, ChaosConfig
 from repro.runtime.context import configure
 from repro.runtime.resilience import CampaignInterrupted
@@ -88,6 +91,10 @@ def _exhibit_runners(args) -> Dict[str, Callable[[], str]]:
                        ablations.queue_size_sweep)),
         "regfile": lambda: regfile.format_result(
             regfile.run(settings, profiles)),
+        "fitsweep": lambda: fitsweep.format_result(
+            fitsweep.run(settings, trials=args.trials,
+                         preset_name=args.mbu_preset,
+                         scheme_name=args.ecc_scheme)),
         "characterize": lambda: _characterize(settings, profiles),
         "report": lambda: _benchmark_report(args, settings),
     }
@@ -123,7 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "exhibit",
         choices=["table1", "table2", "occupancy", "figure1", "figure2",
-                 "figure3", "figure4", "ablations", "regfile",
+                 "figure3", "figure4", "ablations", "regfile", "fitsweep",
                  "characterize", "report", "serve", "all"],
         help="which exhibit to regenerate ('all' runs every paper "
              "exhibit; 'serve' starts the AVF query service instead)")
@@ -142,6 +149,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=2004,
         help="root seed for deterministic replay (default 2004)")
+    parser.add_argument(
+        "--mbu-preset", default=None, choices=sorted(PRESETS),
+        help="multi-bit upset severity preset for campaigns and the "
+             "fitsweep exhibit (default: single-bit faults; fitsweep "
+             "falls back to 'terrestrial')")
+    parser.add_argument(
+        "--ecc-scheme", default=None,
+        choices=[s.value for s in EccScheme],
+        help="protection scheme from the ECC lattice; restricts the "
+             "fitsweep exhibit to one scheme (default: sweep the whole "
+             "lattice)")
     parser.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for campaigns and benchmark runs "
@@ -316,7 +334,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                             batch_strikes=not args.no_batch_strikes,
                             chunk_memo=not args.no_chunk_memo,
                             service=args.service,
-                            service_timeout=args.service_timeout)
+                            service_timeout=args.service_timeout,
+                            mbu_preset=args.mbu_preset,
+                            ecc_scheme=args.ecc_scheme)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -18,7 +18,7 @@ level                 newly covered false-DUE source
 
 from __future__ import annotations
 
-from enum import IntEnum, unique
+from enum import Enum, IntEnum, unique
 from typing import Dict, FrozenSet
 
 from repro.analysis.deadcode import DynClass
@@ -123,3 +123,116 @@ def false_due_coverage(
     if baseline <= 0.0:
         return 0.0
     return 1.0 - residual_false_due(breakdown, level, pet_entries) / baseline
+
+
+# ---------------------------------------------------------------------------
+# The ECC protection lattice (multi-bit upset tier)
+# ---------------------------------------------------------------------------
+
+@unique
+class EccScheme(Enum):
+    """Protection codes over one 41-bit queue entry, by strength.
+
+    The legacy campaign booleans are the two single-bit endpoints of
+    this lattice (``parity=True`` == ``PARITY``, ``ecc=True`` == any
+    correcting scheme on a single-bit strike); the schemes beyond them
+    matter only once bursts enter the fault model:
+
+    ``PARITY``
+        One check bit, minimum distance 2: detects odd-weight errors,
+        aliases even-weight ones to a valid word.
+    ``SEC``
+        Hamming, distance 3: corrects any single bit; every multi-bit
+        error lands inside some other correctable sphere and is
+        *miscorrected* (silent escape).
+    ``SEC_DED``
+        Extended Hamming, distance 4: corrects singles, detects
+        doubles; triples alias into a correctable sphere and escape.
+    ``TAEC``
+        Single-error plus adjacent-burst correction (à la Dutta/Touba):
+        corrects any single and any adjacent 2- or 3-bit burst —
+        exactly the physically dominant MBU shapes — and detects
+        non-adjacent doubles; anything beyond escapes.
+    ``DEC``
+        Double-error-correcting, triple-error-detecting BCH (distance
+        6): corrects any 1- or 2-bit error regardless of adjacency,
+        detects any triple, escapes past that.
+    """
+
+    PARITY = "parity"
+    SEC = "sec"
+    SEC_DED = "sec-ded"
+    TAEC = "taec"
+    DEC = "dec"
+
+
+#: The lattice in strength order (useful for sweeps).
+SCHEME_LADDER = tuple(EccScheme)
+
+
+@unique
+class BurstAction(Enum):
+    """What a scheme's decoder does with one error pattern at read."""
+
+    #: Repaired in place; the read returns clean data (no error).
+    CORRECT = "correct"
+    #: Flagged uncorrectable; feeds the parity/π detection machinery
+    #: (a DUE unless tracking proves the occupant's death).
+    DETECT = "detect"
+    #: Aliased to a valid (or miscorrected) word; the corruption is
+    #: consumed silently, exactly like an unprotected read.
+    ESCAPE = "escape"
+
+
+#: Approximate check-bit overhead per 41-bit data word, used as the
+#: design-space tie-breaker: Hamming over 41 bits needs r=6 (2^6 >=
+#: 41+6+1), SEC-DED adds the overall parity bit, adjacent-burst
+#: correction roughly one syndrome bit more, and DEC-TED BCH over
+#: GF(2^6) needs two 6-bit syndromes plus the parity bit.
+CHECK_BITS: Dict[EccScheme, int] = {
+    EccScheme.PARITY: 1,
+    EccScheme.SEC: 6,
+    EccScheme.SEC_DED: 7,
+    EccScheme.TAEC: 8,
+    EccScheme.DEC: 13,
+}
+
+
+def _burst_shape(mask: int):
+    """``(weight, adjacent)`` of a non-empty error mask."""
+    if mask <= 0:
+        raise ValueError("burst mask must have at least one set bit")
+    weight = bin(mask).count("1")
+    shifted = mask >> ((mask & -mask).bit_length() - 1)
+    adjacent = shifted == (1 << weight) - 1
+    return weight, adjacent
+
+
+def classify_burst(scheme: EccScheme, mask: int) -> BurstAction:
+    """Decoder action of ``scheme`` on the error pattern ``mask``.
+
+    Derived from each code's minimum distance and decoding radius (see
+    :class:`EccScheme`); the exhaustive sweep in ``tests/test_mbu.py``
+    pins this table against an independent brute-force bit-enumeration
+    reference for every mask of weight <= 3 (and the classification is
+    total: weights beyond anything the samplers draw still map to a
+    defined action).
+    """
+    weight, adjacent = _burst_shape(mask)
+    if scheme is EccScheme.PARITY:
+        # Distance 2: odd weight flips the check bit, even weight aliases.
+        return BurstAction.DETECT if weight % 2 else BurstAction.ESCAPE
+    if scheme is EccScheme.SEC:
+        return BurstAction.CORRECT if weight == 1 else BurstAction.ESCAPE
+    if scheme is EccScheme.SEC_DED:
+        if weight == 1:
+            return BurstAction.CORRECT
+        return BurstAction.DETECT if weight == 2 else BurstAction.ESCAPE
+    if scheme is EccScheme.TAEC:
+        if weight == 1 or (adjacent and weight <= 3):
+            return BurstAction.CORRECT
+        return BurstAction.DETECT if weight == 2 else BurstAction.ESCAPE
+    # DEC (DEC-TED): radius-2 correction, distance 6 detection beyond.
+    if weight <= 2:
+        return BurstAction.CORRECT
+    return BurstAction.DETECT if weight == 3 else BurstAction.ESCAPE

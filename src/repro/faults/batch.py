@@ -43,7 +43,18 @@ from random import Random
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.due.outcomes import FaultOutcome
-from repro.due.tracking import TrackingLevel
+from repro.due.tracking import BurstAction, TrackingLevel, classify_burst
+from repro.faults.mbu import (
+    CANONICAL_MASKS,
+    PMF_RESOLUTION,
+    BurstPattern,
+    draw_pattern,
+    draw_second_bit,
+    get_preset,
+    mask_for,
+    representative_bit,
+)
+from repro.faults.model import empty_space_message
 from repro.isa.encoding import ENCODING_BITS, Field, field_bits, live_fields
 from repro.pipeline.iq import CODE_BY_KIND, KIND_COMMITTED, NO_VALUE
 from repro.pipeline.result import PipelineResult
@@ -100,22 +111,38 @@ class StrikeBatch:
     on an idle entry), ``cycle`` (absolute strike cycle, 0 for idle),
     and ``bit`` (0..40). Plain ``array`` columns keep the batch small
     and picklable, so shard tuples can carry slices to worker processes.
+
+    Multi-bit campaigns add two more columns: ``mask`` (the burst flip
+    mask, 0 for a single) and ``pattern`` (the drawn
+    :class:`~repro.faults.mbu.BurstPattern` code). Both are ``None`` for
+    single-bit batches, so pre-MBU pickles, equality, and memory
+    footprint are untouched.
     """
 
-    __slots__ = ("start", "stop", "interval_index", "cycle", "bit")
+    __slots__ = ("start", "stop", "interval_index", "cycle", "bit",
+                 "mask", "pattern")
 
     def __init__(self, start: int, stop: int,
                  interval_index: Sequence[int], cycle: Sequence[int],
-                 bit: Sequence[int]) -> None:
+                 bit: Sequence[int],
+                 mask: Optional[Sequence[int]] = None,
+                 pattern: Optional[Sequence[int]] = None) -> None:
         if not 0 <= start <= stop:
             raise ValueError("batch range must satisfy 0 <= start <= stop")
+        if (mask is None) != (pattern is None):
+            raise ValueError("mask and pattern columns come as a pair")
         self.start = start
         self.stop = stop
         self.interval_index = array("q", interval_index)
         self.cycle = array("q", cycle)
         self.bit = array("q", bit)
+        self.mask = None if mask is None else array("q", mask)
+        self.pattern = None if pattern is None else array("b", pattern)
         if not (len(self.interval_index) == len(self.cycle)
                 == len(self.bit) == stop - start):
+            raise ValueError("batch columns must cover exactly [start, stop)")
+        if self.mask is not None and not (
+                len(self.mask) == len(self.pattern) == stop - start):
             raise ValueError("batch columns must cover exactly [start, stop)")
 
     def __len__(self) -> int:
@@ -128,8 +155,11 @@ class StrikeBatch:
                 f"slice [{start}, {stop}) outside batch "
                 f"[{self.start}, {self.stop})")
         lo, hi = start - self.start, stop - self.start
-        return StrikeBatch(start, stop, self.interval_index[lo:hi],
-                           self.cycle[lo:hi], self.bit[lo:hi])
+        return StrikeBatch(
+            start, stop, self.interval_index[lo:hi],
+            self.cycle[lo:hi], self.bit[lo:hi],
+            None if self.mask is None else self.mask[lo:hi],
+            None if self.pattern is None else self.pattern[lo:hi])
 
     def triples(self) -> List[Tuple[int, int, int]]:
         """``(interval_index, cycle, bit)`` rows, for tests and debugging."""
@@ -140,7 +170,9 @@ class StrikeBatch:
                 and (self.start, self.stop) == (other.start, other.stop)
                 and self.interval_index == other.interval_index
                 and self.cycle == other.cycle
-                and self.bit == other.bit)
+                and self.bit == other.bit
+                and self.mask == other.mask
+                and self.pattern == other.pattern)
 
     def __repr__(self) -> str:
         return f"StrikeBatch([{self.start}, {self.stop}))"
@@ -211,18 +243,29 @@ def draw_strike_batch(result: PipelineResult, config, program_name: str,
     bit-identical to scalar sampling under any sharding. The expensive
     part, mapping each point onto its occupancy interval and absolute
     cycle, runs as one vectorised binary search.
+
+    Multi-bit campaigns (``config.mbu_preset`` set) replay the MBU
+    layer's draws too — the pattern draw and, for random doubles, the
+    rejection-sampled second bit — strictly after the ``(bit, point)``
+    pair on the same stream, exactly as :func:`~repro.faults.mbu.
+    extend_strike` does in the scalar loop, and fill the batch's
+    ``mask``/``pattern`` columns.
     """
     alloc, resident, cumulative = _residency_columns(result)
     resident_total = cumulative[-1] if cumulative else 0
     space_total = result.total_entry_cycles
     if space_total <= 0:
-        raise ValueError("pipeline result has an empty entry-cycle space")
+        raise ValueError(empty_space_message(result, program_name))
     if resident_total > space_total:
         raise ValueError("occupancy exceeds the entry-cycle space")
 
+    preset = (get_preset(config.mbu_preset)
+              if getattr(config, "mbu_preset", None) is not None else None)
     count = stop - start
     bits = array("q")
     points = array("q")
+    masks = array("q") if preset is not None else None
+    patterns = array("b") if preset is not None else None
     seeds = _trial_seeds(config, program_name, start, stop)
     if _CoreRandom is not None:
         # ``randrange(n)`` is pure Python on top of the C generator:
@@ -233,6 +276,9 @@ def draw_strike_batch(result: PipelineResult, config, program_name: str,
         # pins the equivalence.
         bit_width = ENCODING_BITS.bit_length()
         point_width = space_total.bit_length()
+        pattern_width = PMF_RESOLUTION.bit_length()
+        pattern_cum = (list(accumulate(preset.weights))
+                       if preset is not None else None)
         for seed in seeds:
             draw = _CoreRandom(seed).getrandbits
             bit = draw(bit_width)
@@ -243,11 +289,36 @@ def draw_strike_batch(result: PipelineResult, config, program_name: str,
                 point = draw(point_width)
             bits.append(bit)
             points.append(point)
+            if preset is None:
+                continue
+            mass = draw(pattern_width)
+            while mass >= PMF_RESOLUTION:
+                mass = draw(pattern_width)
+            pattern = BurstPattern(bisect_right(pattern_cum, mass))
+            second = None
+            if pattern is BurstPattern.RANDOM_DOUBLE:
+                # The flattened rejection replays draw_second_bit's
+                # nested loops draw for draw: every getrandbits result
+                # is either rejected (out of range or within the +/-1
+                # window) or accepted, in the same order.
+                second = draw(bit_width)
+                while second >= ENCODING_BITS or abs(second - bit) < 2:
+                    second = draw(bit_width)
+            patterns.append(int(pattern))
+            masks.append(mask_for(pattern, bit, second))
     else:  # pragma: no cover - non-CPython fallback
         for seed in seeds:
-            draw = Random(seed).randrange
-            bits.append(draw(ENCODING_BITS))
-            points.append(draw(space_total))
+            rng = Random(seed)
+            bit = rng.randrange(ENCODING_BITS)
+            bits.append(bit)
+            points.append(rng.randrange(space_total))
+            if preset is None:
+                continue
+            pattern = draw_pattern(rng, preset)
+            second = (draw_second_bit(rng, bit)
+                      if pattern is BurstPattern.RANDOM_DOUBLE else None)
+            patterns.append(int(pattern))
+            masks.append(mask_for(pattern, bit, second))
 
     if _np is not None and count:
         point_arr = _np.frombuffer(points, dtype=_np.int64)
@@ -271,7 +342,8 @@ def draw_strike_batch(result: PipelineResult, config, program_name: str,
         cycle = array("q")
         cycle.frombytes(_np.where(occupied, cycle_arr, 0)
                         .astype(_np.int64, copy=False).tobytes())
-        return StrikeBatch(start, stop, interval_index, cycle, bits)
+        return StrikeBatch(start, stop, interval_index, cycle, bits,
+                           masks, patterns)
 
     interval_index = array("q")
     cycle = array("q")
@@ -284,7 +356,8 @@ def draw_strike_batch(result: PipelineResult, config, program_name: str,
         span_start = cumulative[index] - resident[index]
         interval_index.append(index)
         cycle.append(alloc[index] + (point - span_start))
-    return StrikeBatch(start, stop, interval_index, cycle, bits)
+    return StrikeBatch(start, stop, interval_index, cycle, bits,
+                       masks, patterns)
 
 
 # ---------------------------------------------------------------------------
@@ -333,8 +406,12 @@ def kill_matrix(masks: Sequence[int]):
 # Batched classification
 # ---------------------------------------------------------------------------
 
-#: Dense outcome codes for the purely-vectorised categories.
-_UNREAD, _CORRECTED, _UNACE, _FALSE_DUE, _SURVIVOR = range(5)
+#: Dense outcome codes for the purely-vectorised categories. A survivor
+#: is a committed-read strike that still needs the oracle; the scheme
+#: path distinguishes detected-uncorrectable survivors (which feed the
+#: π-bit tracker like parity) from escaped ones (unprotected tail).
+(_UNREAD, _CORRECTED, _UNACE, _FALSE_DUE, _SURVIVOR,
+ _SURVIVOR_DETECT) = range(6)
 
 _CODE_OUTCOME = {
     _UNREAD: FaultOutcome.BENIGN_UNREAD,
@@ -407,6 +484,8 @@ class BatchClassifier:
 
     def classify(self, batch: StrikeBatch) -> Tuple[Counter, int]:
         """``(outcome counts, tracker misses)`` for one batch of trials."""
+        if self.evaluator.scheme is not None or batch.pattern is not None:
+            return self._classify_scheme(batch)
         if _np is not None:
             codes, rows, seqs, bits = self._vector_pass_numpy(batch)
         else:
@@ -531,6 +610,206 @@ class BatchClassifier:
                     counts[_EFFECT_TO_OUTCOME[effect]] += 1
                 continue
             decision = tracker.process_fault(seq, bit)
+            if decision.signaled:
+                if effect == "none":
+                    counts[FaultOutcome.FALSE_DUE] += 1
+                else:
+                    counts[FaultOutcome.TRUE_DUE] += 1
+            elif effect == "none":
+                counts[FaultOutcome.BENIGN_UNACE] += 1
+            else:
+                counts[_EFFECT_TO_OUTCOME[effect]] += 1
+                tracker_misses += 1
+        executed = oracle.executions - executions_before
+        self.reexecutions += executed
+        self.scalar_kills += len(rows) - executed
+        return counts, tracker_misses
+
+    # -- scheme/MBU classification ----------------------------------------
+
+    def _classify_scheme(self, batch: StrikeBatch) -> Tuple[Counter, int]:
+        """:meth:`classify` under the ECC lattice / multi-bit fault model.
+
+        Burst classification is a lookup over *pattern codes*: the drawn
+        masks of a pattern all share the decoder-relevant shape (weight,
+        adjacency) of its canonical mask, so
+        :func:`~repro.due.tracking.classify_burst` evaluated once per
+        pattern stands for every trial (the bijection is pinned in
+        ``tests/test_mbu.py``). ``scheme=None`` with a pattern column is
+        the unprotected multi-bit campaign: no decoder, wrong-path reads
+        are benign, committed reads fall through to the burst oracle.
+        """
+        actions = (None if self.evaluator.scheme is None else
+                   [classify_burst(self.evaluator.scheme, CANONICAL_MASKS[p])
+                    for p in BurstPattern])
+        if _np is not None:
+            tallies, rows, seqs, detects = self._scheme_pass_numpy(
+                batch, actions)
+        else:
+            tallies, rows, seqs, detects = self._scheme_pass_python(
+                batch, actions)
+        counts: Counter = Counter()
+        for code, outcome in _CODE_OUTCOME.items():
+            tally = tallies.get(code, 0)
+            if tally:
+                counts[outcome] += tally
+        survivors = len(rows)
+        self.trials += len(batch)
+        self.vector_kills += len(batch) - survivors
+        if not survivors:
+            return counts, 0
+        return self._classify_survivors_mbu(counts, batch, rows, seqs,
+                                            detects)
+
+    def _scheme_pass_numpy(self, batch: StrikeBatch, actions):
+        """Array form of the scheme decoder's pre-oracle decision tree."""
+        n = len(batch)
+        if n == 0:
+            return {}, [], [], []
+        seq_col, kind_col, issue_col = self._interval_columns()
+        index = _np.frombuffer(batch.interval_index, dtype=_np.int64)
+        cycle = _np.frombuffer(batch.cycle, dtype=_np.int64)
+        occupied = index != NO_VALUE
+        safe = _np.where(occupied, index, 0)
+        if len(seq_col):
+            seqs = _np.frombuffer(seq_col, dtype=_np.int64)[safe]
+            kinds = _np.frombuffer(kind_col, dtype=_np.int8)[safe]
+            issues = _np.frombuffer(issue_col, dtype=_np.int64)[safe]
+        else:
+            seqs = kinds = issues = _np.zeros(n, dtype=_np.int64)
+        read = occupied & (cycle < issues)
+        if batch.pattern is not None:
+            pattern_arr = _np.frombuffer(batch.pattern, dtype=_np.int8)
+        else:
+            pattern_arr = _np.zeros(n, dtype=_np.int8)
+        stats = self.evaluator.burst_stats
+        stats["mbu_multi_bit"] += int(
+            (pattern_arr != int(BurstPattern.SINGLE)).sum())
+        committed = kinds == KIND_COMMITTED
+        codes = _np.full(n, _UNREAD, dtype=_np.int8)
+        if actions is None:
+            codes[read & ~committed] = _UNACE
+            codes[read & committed] = _SURVIVOR
+        else:
+            correct_lut = _np.array(
+                [a is BurstAction.CORRECT for a in actions])
+            detect_lut = _np.array(
+                [a is BurstAction.DETECT for a in actions])
+            corrected = read & correct_lut[pattern_arr]
+            detected = read & detect_lut[pattern_arr]
+            escaped = read & ~corrected & ~detected
+            stats["ecc_corrected"] += int(corrected.sum())
+            stats["ecc_detected"] += int(detected.sum())
+            stats["ecc_escaped"] += int(escaped.sum())
+            codes[corrected] = _CORRECTED
+            wrong_detect = detected & ~committed
+            codes[wrong_detect] = (
+                _UNACE
+                if self.evaluator.tracking >= TrackingLevel.PI_COMMIT
+                else _FALSE_DUE)
+            codes[detected & committed] = _SURVIVOR_DETECT
+            codes[escaped & ~committed] = _UNACE
+            codes[escaped & committed] = _SURVIVOR
+        tallies = dict(zip(*(part.tolist() for part in _np.unique(
+            codes, return_counts=True))))
+        surv = (codes == _SURVIVOR) | (codes == _SURVIVOR_DETECT)
+        rows = _np.nonzero(surv)[0]
+        detects = (codes[rows] == _SURVIVOR_DETECT).tolist()
+        return tallies, rows.tolist(), seqs[rows].tolist(), detects
+
+    def _scheme_pass_python(self, batch: StrikeBatch, actions):
+        """Pure-Python fallback with identical tallies and survivors."""
+        seq_col, kind_col, issue_col = self._interval_columns()
+        evaluator = self.evaluator
+        stats = evaluator.burst_stats
+        suppress_wrong = evaluator.tracking >= TrackingLevel.PI_COMMIT
+        patterns = batch.pattern
+        tallies: Dict[int, int] = {}
+        rows: List[int] = []
+        seqs: List[int] = []
+        detects: List[bool] = []
+        for row, (index, cycle) in enumerate(
+                zip(batch.interval_index, batch.cycle)):
+            pattern = patterns[row] if patterns is not None else 0
+            if pattern != int(BurstPattern.SINGLE):
+                stats["mbu_multi_bit"] += 1
+            if index == NO_VALUE or not cycle < issue_col[index]:
+                code = _UNREAD
+            elif actions is None:
+                if kind_col[index] != KIND_COMMITTED:
+                    code = _UNACE
+                else:
+                    rows.append(row)
+                    seqs.append(seq_col[index])
+                    detects.append(False)
+                    code = _SURVIVOR
+            else:
+                action = actions[pattern]
+                committed = kind_col[index] == KIND_COMMITTED
+                if action is BurstAction.CORRECT:
+                    stats["ecc_corrected"] += 1
+                    code = _CORRECTED
+                elif action is BurstAction.DETECT:
+                    stats["ecc_detected"] += 1
+                    if not committed:
+                        code = _UNACE if suppress_wrong else _FALSE_DUE
+                    else:
+                        rows.append(row)
+                        seqs.append(seq_col[index])
+                        detects.append(True)
+                        code = _SURVIVOR_DETECT
+                else:
+                    stats["ecc_escaped"] += 1
+                    if not committed:
+                        code = _UNACE
+                    else:
+                        rows.append(row)
+                        seqs.append(seq_col[index])
+                        detects.append(False)
+                        code = _SURVIVOR
+            tallies[code] = tallies.get(code, 0) + 1
+        return tallies, rows, seqs, detects
+
+    def _classify_survivors_mbu(self, counts: Counter, batch: StrikeBatch,
+                                rows, seqs, detects):
+        """Walk the committed-read survivors of a scheme/MBU batch.
+
+        Burst static hints are the subset test ``mask ⊆ kill_mask[seq]``
+        — equivalent to the oracle's per-bit conjunction
+        (:meth:`~repro.faults.oracle.EffectOracle.classify_static_mask`)
+        because bit ``b`` of the kill mask is exactly
+        ``classify_static(seq, b) is not None``. Detected survivors run
+        the parity-style tracker tail on the burst's representative bit;
+        escaped (or unprotected) survivors run the unprotected tail.
+        """
+        from repro.faults.injector import _EFFECT_TO_OUTCOME
+
+        evaluator = self.evaluator
+        oracle = evaluator.oracle
+        bursts = []
+        for row in rows:
+            mask = batch.mask[row] if batch.mask is not None else 0
+            bursts.append(mask or (1 << batch.bit[row]))
+        if oracle.static_filter and any(
+                not oracle.is_memoized_mask(seq, burst)
+                for seq, burst in zip(seqs, bursts)):
+            masks = self._kill_masks()
+            hints = [(masks[seq] & burst) == burst
+                     for seq, burst in zip(seqs, bursts)]
+        else:
+            hints = [False] * len(seqs)
+        tracker = evaluator.tracker
+        executions_before = oracle.executions
+        tracker_misses = 0
+        for seq, burst, hint, detect in zip(seqs, bursts, hints, detects):
+            effect = oracle.effect_mask_from_hint(seq, burst, hint)
+            if not detect:
+                if effect == "none":
+                    counts[FaultOutcome.BENIGN_UNACE] += 1
+                else:
+                    counts[_EFFECT_TO_OUTCOME[effect]] += 1
+                continue
+            decision = tracker.process_fault(seq, representative_bit(burst))
             if decision.signaled:
                 if effect == "none":
                     counts[FaultOutcome.FALSE_DUE] += 1

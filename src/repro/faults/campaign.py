@@ -11,8 +11,9 @@ from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.arch.result import ExecutionResult
 from repro.due.outcomes import FaultOutcome
-from repro.due.tracking import DEFAULT_PET_ENTRIES, TrackingLevel
+from repro.due.tracking import DEFAULT_PET_ENTRIES, EccScheme, TrackingLevel
 from repro.faults.injector import StrikeEvaluator
+from repro.faults.mbu import extend_strike, get_preset
 from repro.faults.model import StrikeModel
 from repro.faults.oracle import oracle_cache_key, persist
 from repro.isa.program import Program
@@ -42,6 +43,17 @@ class CampaignConfig:
     pet_entries: int = DEFAULT_PET_ENTRIES
     #: Single-bit error correction (SECDED): strikes are repaired at read.
     ecc: bool = False
+    #: Multi-bit upset severity preset name (see ``repro.faults.mbu``);
+    #: None keeps the classic single-bit fault model.
+    mbu_preset: Optional[str] = None
+    #: Protection scheme from the ECC lattice (``repro.due.tracking``);
+    #: replaces the legacy ``parity``/``ecc`` booleans when set.
+    scheme: Optional[EccScheme] = None
+
+    #: Fields omitted from content-addressed cache keys while None, so
+    #: every pre-MBU campaign keeps its byte-identical key (see
+    #: ``repro.runtime.cache``).
+    _CACHE_OPTIONAL_FIELDS = ("mbu_preset", "scheme")
 
     def __post_init__(self) -> None:
         if self.trials <= 0:
@@ -52,6 +64,15 @@ class CampaignConfig:
             raise ValueError("pet_entries must be positive")
         if self.ecc and self.parity:
             raise ValueError("choose parity (detection) or ecc (correction)")
+        if self.scheme is not None and (self.parity or self.ecc):
+            raise ValueError(
+                "the scheme lattice replaces the legacy parity/ecc flags")
+        if self.mbu_preset is not None:
+            get_preset(self.mbu_preset)  # validates the name
+            if self.scheme is None and (self.parity or self.ecc):
+                raise ValueError(
+                    "multi-bit campaigns need a lattice scheme (or no "
+                    "protection at all); parity/ecc are single-bit only")
 
 
 @dataclass
@@ -106,6 +127,21 @@ class CampaignResult:
     @property
     def false_due_estimate(self) -> float:
         return self.rate(FaultOutcome.FALSE_DUE)
+
+    @property
+    def corrected_estimate(self) -> float:
+        """Fraction of strikes the protection scheme repaired in place."""
+        return self.rate(FaultOutcome.CORRECTED)
+
+    @property
+    def residual_uncorrectable_estimate(self) -> float:
+        """Everything the scheme failed to neutralise: SDC + DUE rates.
+
+        The design-space sweep ranks ECC schemes on this — the fraction
+        of strikes still visible as an error after correction, whether
+        silent (escape reached output) or detected-uncorrectable.
+        """
+        return self.sdc_avf_estimate + self.due_avf_estimate
 
     def summary(self) -> Dict[str, float]:
         return {o.value: self.counts[o] / max(1, self.trials)
@@ -167,12 +203,15 @@ def run_trial_block(
             tracking=config.tracking,
             pet_entries=config.pet_entries,
             ecc=config.ecc,
+            scheme=config.scheme,
             static_filter=get_runtime().static_filter,
         )
     if strikes is not None:
         return _run_block_batched(pipeline_result, start, stop, on_trial,
                                   evaluator, strikes, classifier)
-    sampler = StrikeModel(pipeline_result)
+    sampler = StrikeModel(pipeline_result, label=program.name)
+    preset = (get_preset(config.mbu_preset)
+              if config.mbu_preset is not None else None)
     counts: Counter = Counter()
     tracker_misses = 0
     for index in range(start, stop):
@@ -181,6 +220,8 @@ def run_trial_block(
                 on_trial(index)
             rng = DeterministicRng(trial_seed(config, program.name, index))
             strike = sampler.sample(rng)
+            if preset is not None:
+                strike = extend_strike(strike, rng, preset)
             verdict = evaluator.evaluate(strike)
         except RuntimeFault:
             raise

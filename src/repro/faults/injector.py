@@ -18,13 +18,20 @@ wrapper with the original signature and semantics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.arch.executor import ExecutionLimits, FunctionalSimulator
 from repro.arch.result import ExecutionResult, ExecutionStatus
 from repro.due.outcomes import FaultOutcome
 from repro.due.pi_bit import PiBitTracker
-from repro.due.tracking import DEFAULT_PET_ENTRIES, TrackingLevel
+from repro.due.tracking import (
+    DEFAULT_PET_ENTRIES,
+    BurstAction,
+    EccScheme,
+    TrackingLevel,
+    classify_burst,
+)
+from repro.faults.mbu import representative_bit
 from repro.faults.model import Strike
 from repro.faults.oracle import EffectOracle
 from repro.isa import encoding
@@ -52,6 +59,13 @@ class StrikeVerdict:
 def corrupt_instruction(instruction, bit: int):
     """Flip one bit of an instruction's 41-bit encoding and re-decode."""
     return encoding.decode(flip_bit(instruction.encode(), bit))
+
+
+def corrupt_burst(instruction, mask: int):
+    """Flip every set bit of ``mask`` in the encoding and re-decode."""
+    if mask <= 0:
+        raise ValueError("burst mask must have at least one set bit")
+    return encoding.decode(instruction.encode() ^ mask)
 
 
 def architectural_effect(
@@ -111,19 +125,38 @@ class StrikeEvaluator:
         ecc: bool = False,
         oracle: Optional[EffectOracle] = None,
         static_filter: bool = True,
+        scheme: Optional[EccScheme] = None,
     ) -> None:
+        if scheme is not None and (parity or ecc):
+            raise ValueError(
+                "the scheme lattice replaces the legacy parity/ecc flags")
         self.program = program
         self.baseline = baseline
         self.parity = parity
         self.tracking = tracking
         self.ecc = ecc
+        self.scheme = scheme
         self.oracle = oracle if oracle is not None else EffectOracle(
             program, baseline, static_filter=static_filter)
         #: One tracker for the whole campaign: it is stateless per fault
         #: (and memoizes decisions per strike point), so constructing it
-        #: per trial was pure overhead.
+        #: per trial was pure overhead. Any lattice scheme can flag a
+        #: detected-uncorrectable error, so schemes carry one too.
         self.tracker = (PiBitTracker(baseline.trace, tracking, pet_entries)
-                        if parity else None)
+                        if parity or scheme is not None else None)
+        #: MBU/ECC accounting, mirrored into runtime telemetry by the
+        #: campaign shards. The batched classifier ticks these same
+        #: counters from its vector tallies, so the two paths stay
+        #: comparable entry for entry.
+        self.burst_stats: Dict[str, int] = {
+            "mbu_multi_bit": 0,
+            "ecc_corrected": 0,
+            "ecc_detected": 0,
+            "ecc_escaped": 0,
+        }
+
+    def burst_counters(self) -> Dict[str, int]:
+        return dict(self.burst_stats)
 
     def evaluate(self, strike: Strike) -> StrikeVerdict:
         """Classify one strike per Figure 1.
@@ -136,6 +169,8 @@ class StrikeEvaluator:
         no error").
         """
         interval = strike.interval
+        if strike.mask:
+            self.burst_stats["mbu_multi_bit"] += 1
         if interval is None:
             return StrikeVerdict(FaultOutcome.BENIGN_UNREAD, "not_executed")
         if not interval.issued or strike.cycle >= interval.issue_cycle:
@@ -143,6 +178,8 @@ class StrikeEvaluator:
             # (squash victim, never-issued wrong path): nobody consumes
             # the bit.
             return StrikeVerdict(FaultOutcome.BENIGN_UNREAD, "not_executed")
+        if self.scheme is not None:
+            return self._evaluate_scheme(strike, interval)
         if self.ecc:
             # SECDED corrects the single-bit fault at read time.
             return StrikeVerdict(FaultOutcome.CORRECTED, "none")
@@ -158,13 +195,19 @@ class StrikeEvaluator:
                                      "not_executed")
             return StrikeVerdict(FaultOutcome.FALSE_DUE, "not_executed")
 
-        effect = self.oracle.effect(interval.seq, strike.bit)
+        # Single-bit strikes take the seed-era oracle path; bursts go
+        # through the mask oracle (identical for power-of-two masks).
+        if strike.mask:
+            effect = self.oracle.effect_mask(interval.seq, strike.burst_mask)
+        else:
+            effect = self.oracle.effect(interval.seq, strike.bit)
         if not self.parity:
             if effect == "none":
                 return StrikeVerdict(FaultOutcome.BENIGN_UNACE, effect)
             return StrikeVerdict(_EFFECT_TO_OUTCOME[effect], effect)
 
-        decision = self.tracker.process_fault(interval.seq, strike.bit)
+        decision = self.tracker.process_fault(
+            interval.seq, representative_bit(strike.burst_mask))
         if decision.signaled:
             if effect == "none":
                 return StrikeVerdict(FaultOutcome.FALSE_DUE, effect)
@@ -178,6 +221,47 @@ class StrikeEvaluator:
         # the *corrupted* destination and stays sound.
         return StrikeVerdict(_EFFECT_TO_OUTCOME[effect], effect,
                              tracker_miss=True)
+
+    def _evaluate_scheme(self, strike: Strike, interval) -> StrikeVerdict:
+        """Classify a read strike under an :class:`EccScheme` decoder.
+
+        The decoder acts at read time on the raw error pattern:
+        ``CORRECT`` repairs in place (Figure 1's outcome 3), ``DETECT``
+        behaves exactly like the parity machinery (signalled unless the
+        tracker proves the occupant dead), and ``ESCAPE`` consumes the
+        corruption silently, like an unprotected read.
+        """
+        burst = strike.burst_mask
+        action = classify_burst(self.scheme, burst)
+        if action is BurstAction.CORRECT:
+            self.burst_stats["ecc_corrected"] += 1
+            return StrikeVerdict(FaultOutcome.CORRECTED, "none")
+        if action is BurstAction.DETECT:
+            self.burst_stats["ecc_detected"] += 1
+            if interval.kind is not OccupantKind.COMMITTED:
+                if self.tracking >= TrackingLevel.PI_COMMIT:
+                    return StrikeVerdict(FaultOutcome.BENIGN_UNACE,
+                                         "not_executed")
+                return StrikeVerdict(FaultOutcome.FALSE_DUE, "not_executed")
+            effect = self.oracle.effect_mask(interval.seq, burst)
+            decision = self.tracker.process_fault(
+                interval.seq, representative_bit(burst))
+            if decision.signaled:
+                if effect == "none":
+                    return StrikeVerdict(FaultOutcome.FALSE_DUE, effect)
+                return StrikeVerdict(FaultOutcome.TRUE_DUE, effect)
+            if effect == "none":
+                return StrikeVerdict(FaultOutcome.BENIGN_UNACE, effect)
+            return StrikeVerdict(_EFFECT_TO_OUTCOME[effect], effect,
+                                 tracker_miss=True)
+        # ESCAPE: aliased past the decoder — unprotected semantics.
+        self.burst_stats["ecc_escaped"] += 1
+        if interval.kind is not OccupantKind.COMMITTED:
+            return StrikeVerdict(FaultOutcome.BENIGN_UNACE, "not_executed")
+        effect = self.oracle.effect_mask(interval.seq, burst)
+        if effect == "none":
+            return StrikeVerdict(FaultOutcome.BENIGN_UNACE, effect)
+        return StrikeVerdict(_EFFECT_TO_OUTCOME[effect], effect)
 
 
 def evaluate_strike(

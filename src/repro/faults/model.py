@@ -15,19 +15,28 @@ from repro.util.rng import DeterministicRng
 
 @dataclass(frozen=True)
 class Strike:
-    """One sampled single-event upset.
+    """One sampled upset.
 
     ``interval`` is None when the strike landed on an idle entry;
-    ``cycle`` is absolute, ``bit`` indexes the 41-bit syllable.
+    ``cycle`` is absolute, ``bit`` indexes the 41-bit syllable. ``mask``
+    is 0 for the classic single-event upset; a multi-bit burst (see
+    :mod:`repro.faults.mbu`) stores its full flip mask there, with
+    ``bit`` remaining the primary drawn bit.
     """
 
     interval: Optional[OccupancyInterval]
     cycle: int
     bit: int
+    mask: int = 0
 
     @property
     def hit_idle(self) -> bool:
         return self.interval is None
+
+    @property
+    def burst_mask(self) -> int:
+        """The flipped bits as a mask (never 0: singles are ``1 << bit``)."""
+        return self.mask or (1 << self.bit)
 
 
 class StrikeModel:
@@ -37,10 +46,15 @@ class StrikeModel:
     given occupant is proportional to its residency, and the probability
     of hitting an idle entry equals the queue's idle fraction — exactly
     the exposure model behind the AVF equations of Section 2.
+
+    ``label`` (typically the program or profile name) is folded into the
+    empty-space error so campaign-level quarantine reports can attribute
+    the unsampleable pipeline result to its workload.
     """
 
     def __init__(self, result: PipelineResult,
-                 rng: Optional[DeterministicRng] = None) -> None:
+                 rng: Optional[DeterministicRng] = None,
+                 label: Optional[str] = None) -> None:
         self._rng = rng
         self._intervals = result.intervals
         self._cumulative: List[int] = list(accumulate(
@@ -49,7 +63,7 @@ class StrikeModel:
                                 if self._cumulative else 0)
         self._space_total = result.total_entry_cycles
         if self._space_total <= 0:
-            raise ValueError("pipeline result has an empty entry-cycle space")
+            raise ValueError(empty_space_message(result, label))
         if self._resident_total > self._space_total:
             raise ValueError("occupancy exceeds the entry-cycle space")
 
@@ -72,3 +86,17 @@ class StrikeModel:
         start = self._cumulative[index] - interval.resident_cycles
         cycle = interval.alloc_cycle + (point - start)
         return Strike(interval=interval, cycle=cycle, bit=bit)
+
+
+def empty_space_message(result: PipelineResult,
+                        label: Optional[str] = None) -> str:
+    """The attributable empty-entry-cycle-space diagnostic.
+
+    Shared by the scalar sampler and the batched drawer so quarantine
+    reports carry the same identifying detail (workload label plus the
+    degenerate geometry) whichever path tripped first.
+    """
+    origin = f" [{label}]" if label else ""
+    return ("pipeline result has an empty entry-cycle space "
+            f"({result.iq_entries} entries x {result.cycles} "
+            f"cycles){origin}")

@@ -54,7 +54,7 @@ from typing import Dict, Optional, Tuple
 from repro.analysis.deadcode import DynClass, analyze_deadness
 from repro.arch.executor import ExecutionLimits, FunctionalSimulator
 from repro.arch.result import ExecutionResult, ExecutionStatus
-from repro.isa.encoding import Field, field_at_bit, live_fields
+from repro.isa.encoding import ENCODING_BITS, Field, field_at_bit, live_fields
 from repro.isa.program import Program
 
 #: Architectural effects the oracle may return.
@@ -67,6 +67,13 @@ _DEAD_DEST_CLASSES = (DynClass.FDD_REG, DynClass.FDD_REG_RETURN)
 #: Fields whose flip only perturbs the *value* an instruction computes,
 #: never which architectural location it writes or whether it executes.
 _VALUE_FIELDS = (Field.R2, Field.R3, Field.IMM7)
+
+#: Namespace for multi-bit memo keys: a burst of mask ``m`` on ``seq``
+#: is keyed as ``(seq, _MASK_KEY_BASE | m)``. Single-bit keys use the
+#: bit index (0..40) and ``_MASK_KEY_BASE`` exceeds any 41-bit mask, so
+#: the two key families can never collide, and both survive
+#: :func:`validate_table`'s (int, int) shape check.
+_MASK_KEY_BASE = 1 << ENCODING_BITS
 
 
 def default_limits(baseline: ExecutionResult) -> ExecutionLimits:
@@ -203,6 +210,126 @@ class EffectOracle:
             if self.deadness.class_of(seq) in _DEAD_DEST_CLASSES:
                 return "dead destination value"
         return None
+
+    # -- multi-bit bursts --------------------------------------------------
+
+    def effect_mask(self, seq: int, mask: int) -> str:
+        """Architectural effect of flipping every bit of ``mask`` at ``seq``.
+
+        Single-bit masks route through :meth:`effect` so MBU campaigns
+        share (and extend) the same memo and persisted table as
+        single-bit campaigns — the 41 per-seq singles dominate every
+        preset's PMF.
+        """
+        if mask <= 0:
+            raise ValueError("burst mask must have at least one set bit")
+        if mask & (mask - 1) == 0:
+            return self.effect(seq, mask.bit_length() - 1)
+        key = (seq, _MASK_KEY_BASE | mask)
+        cached = self._table.get(key)
+        if cached is not None:
+            self.memo_hits += 1
+            return cached
+        if (self.static_filter
+                and self.classify_static_mask(seq, mask) is not None):
+            self.static_kills += 1
+            effect = "none"
+        else:
+            self.executions += 1
+            effect = self._execute_mask(seq, mask)
+        self._table[key] = effect
+        self._new[key] = effect
+        return effect
+
+    def effect_mask_from_hint(self, seq: int, mask: int,
+                              inert_hint: bool) -> str:
+        """:meth:`effect_mask` with the static verdict supplied by the caller.
+
+        ``inert_hint`` must equal ``classify_static_mask(seq, mask) is
+        not None`` — which, because the static rules compose per bit, is
+        exactly "``mask`` is a subset of the batched kill mask"; the
+        equivalence is pinned in ``tests/test_mbu.py``.
+        """
+        if mask <= 0:
+            raise ValueError("burst mask must have at least one set bit")
+        if mask & (mask - 1) == 0:
+            return self.effect_from_hint(seq, mask.bit_length() - 1,
+                                         inert_hint)
+        key = (seq, _MASK_KEY_BASE | mask)
+        cached = self._table.get(key)
+        if cached is not None:
+            self.memo_hits += 1
+            return cached
+        if self.static_filter and inert_hint:
+            self.static_kills += 1
+            effect = "none"
+        else:
+            self.executions += 1
+            effect = self._execute_mask(seq, mask)
+        self._table[key] = effect
+        self._new[key] = effect
+        return effect
+
+    def is_memoized_mask(self, seq: int, mask: int) -> bool:
+        """Whether :meth:`effect_mask` would be served from the memo."""
+        if mask <= 0:
+            raise ValueError("burst mask must have at least one set bit")
+        if mask & (mask - 1) == 0:
+            return self.is_memoized(seq, mask.bit_length() - 1)
+        return (seq, _MASK_KEY_BASE | mask) in self._table
+
+    def classify_static_mask(self, seq: int, mask: int) -> Optional[str]:
+        """Provably-inert classification of a whole burst, or None.
+
+        A burst is inert when **every** set bit is individually inert.
+        The conjunction is sound because each rule's argument is
+        field-level, not bit-level: rule 1 bits all lie in fields the
+        executor never reads for this opcode (and ``OPCODE`` is live for
+        every opcode, so the decoded opcode — hence the liveness
+        judgment itself — is unchanged by the burst); rule 2 bits all
+        lie outside QP/OPCODE on a nullified instruction, so the
+        corrupted instruction is nullified too and writes nothing; rule
+        3 bits all lie in value-source fields of a first-level-dead
+        instruction, so the combined flip still only perturbs the value
+        written to the same never-read destination. Mixing rules across
+        bits composes for the same reason each rule tolerates any flip
+        *within* its field set. The brute-force multi-bit sweep in
+        ``tests/test_mbu.py`` pins this against re-execution.
+        """
+        reasons = []
+        remaining = mask
+        if remaining <= 0:
+            raise ValueError("burst mask must have at least one set bit")
+        while remaining:
+            bit = (remaining & -remaining).bit_length() - 1
+            reason = self.classify_static(seq, bit)
+            if reason is None:
+                return None
+            reasons.append(reason)
+            remaining &= remaining - 1
+        if len(reasons) == 1:
+            return reasons[0]
+        return "burst: " + " + ".join(sorted(set(reasons)))
+
+    def _execute_mask(self, seq: int, mask: int) -> str:
+        """Slow path for bursts: re-execute with every mask bit flipped."""
+        from repro.faults.injector import corrupt_burst
+
+        original = self.baseline.trace[seq].instruction
+        corrupted = corrupt_burst(original, mask)
+        if corrupted == original:
+            raise AssertionError("burst flip must change the instruction")
+        rerun = FunctionalSimulator(self.program, self.limits).run(
+            record_trace=False, override_seq=seq,
+            override_instruction=corrupted)
+        if rerun.status is ExecutionStatus.LIMIT:
+            return "hang"
+        if rerun.status in (ExecutionStatus.TRAP_ILLEGAL,
+                            ExecutionStatus.RET_UNDERFLOW):
+            return "trap"
+        if rerun.output_signature() == self._baseline_signature:
+            return "none"
+        return "sdc"
 
     @property
     def deadness(self):

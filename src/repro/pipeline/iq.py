@@ -237,7 +237,23 @@ class IntervalBlock:
 
     def shifted(self, cycle_delta: int, seq_delta: int = 0) -> \
             "IntervalBlock":
-        """A copy rebased by ``cycle_delta`` cycles / ``seq_delta`` seqs."""
+        """A copy rebased by ``cycle_delta`` cycles / ``seq_delta`` seqs.
+
+        ``NO_VALUE`` is an in-band sentinel, so a shift that would land
+        a *real* coordinate exactly on it cannot be represented (the row
+        would silently read back as anonymous/never-issued and the shift
+        would no longer be invertible); such shifts raise ``ValueError``.
+        Store columns with legitimately-negative relative coordinates
+        under a far sentinel instead (see ``pipeline/compose.py``).
+        """
+        if seq_delta and (NO_VALUE - seq_delta) in self.seq:
+            raise ValueError(
+                f"seq shift by {seq_delta} would land a real row on the "
+                f"NO_VALUE sentinel")
+        if cycle_delta and (NO_VALUE - cycle_delta) in self.issue:
+            raise ValueError(
+                f"issue shift by {cycle_delta} would land a real row on "
+                f"the NO_VALUE sentinel")
         seq = array("q", (s if s == NO_VALUE else s + seq_delta
                           for s in self.seq))
         issue = array("q", (i if i == NO_VALUE else i + cycle_delta

@@ -104,9 +104,17 @@ def _tokens(obj: Any) -> Iterator[bytes]:
                 yield from _tokens(interval)
     elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         yield b"dc:" + type(obj).__name__.encode()
+        # ``_CACHE_OPTIONAL_FIELDS`` names fields that are omitted from
+        # the token stream while None: a config may grow new optional
+        # knobs without forking the key of every result computed before
+        # the knob existed (e.g. pre-MBU campaign tallies).
+        optional = getattr(type(obj), "_CACHE_OPTIONAL_FIELDS", ())
         for field in dataclasses.fields(obj):
+            value = getattr(obj, field.name)
+            if value is None and field.name in optional:
+                continue
             yield b"f:" + field.name.encode()
-            yield from _tokens(getattr(obj, field.name))
+            yield from _tokens(value)
     elif isinstance(obj, dict):
         yield b"dict"
         for key in sorted(obj, key=repr):

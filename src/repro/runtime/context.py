@@ -66,6 +66,15 @@ class RuntimeContext:
     #: client's own default: 60 s for the remote store, 300 s
     #: interactive).
     service_timeout: Optional[float] = None
+    #: Default multi-bit upset severity preset for campaigns/exhibits
+    #: that don't name one explicitly (``--mbu-preset``; a preset name
+    #: from ``repro.faults.mbu``, kept as a string so the runtime layer
+    #: stays free of fault-model imports). None = single-bit faults.
+    mbu_preset: Optional[str] = None
+    #: Default ECC lattice scheme (``--ecc-scheme``; an
+    #: ``EccScheme.value`` string from ``repro.due.tracking``). None =
+    #: the exhibit's own default protection.
+    ecc_scheme: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -117,6 +126,8 @@ def configure(
     chunk_memo: bool = True,
     service: Optional[str] = None,
     service_timeout: Optional[float] = None,
+    mbu_preset: Optional[str] = None,
+    ecc_scheme: Optional[str] = None,
 ) -> RuntimeContext:
     """Build and install a context from CLI-style knobs.
 
@@ -140,7 +151,8 @@ def configure(
         resume=resume, static_filter=static_filter,
         interval_kernel=interval_kernel, batch_strikes=batch_strikes,
         chunk_memo=chunk_memo,
-        service=service, service_timeout=service_timeout))
+        service=service, service_timeout=service_timeout,
+        mbu_preset=mbu_preset, ecc_scheme=ecc_scheme))
 
 
 @contextmanager
@@ -160,6 +172,8 @@ def use_runtime(
     chunk_memo: bool = True,
     service: Optional[str] = None,
     service_timeout: Optional[float] = None,
+    mbu_preset: Optional[str] = None,
+    ecc_scheme: Optional[str] = None,
 ) -> Iterator[RuntimeContext]:
     """Scoped context install; restores the previous context on exit."""
     if cache is None and cache_dir is not None and not no_cache:
@@ -177,7 +191,9 @@ def use_runtime(
                              batch_strikes=batch_strikes,
                              chunk_memo=chunk_memo,
                              service=service,
-                             service_timeout=service_timeout)
+                             service_timeout=service_timeout,
+                             mbu_preset=mbu_preset,
+                             ecc_scheme=ecc_scheme)
     previous = get_runtime()
     set_runtime(context)
     try:

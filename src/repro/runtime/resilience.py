@@ -576,6 +576,7 @@ def shard_worker(program, baseline, pipeline_result, config,
         program, baseline,
         parity=config.parity, tracking=config.tracking,
         pet_entries=config.pet_entries, ecc=config.ecc,
+        scheme=getattr(config, "scheme", None),
         static_filter=static_filter)
     if cache_dir is not None:
         from repro.runtime.cache import ResultCache
@@ -597,6 +598,11 @@ def shard_worker(program, baseline, pipeline_result, config,
     stats = evaluator.oracle.counters()
     if classifier is not None:
         stats.update(classifier.counters())
+    if (getattr(config, "scheme", None) is not None
+            or getattr(config, "mbu_preset", None) is not None):
+        # Legacy single-bit campaigns skip the merge so their telemetry
+        # dumps stay byte-identical to pre-MBU runs.
+        stats.update(evaluator.burst_counters())
     return (dict(counts), tracker_misses, time.perf_counter() - began,
             evaluator.oracle.new_entries(), stats)
 

@@ -109,6 +109,9 @@ class Telemetry:
         batch = self._format_batch()
         if batch:
             parts.append(batch)
+        mbu = self._format_mbu()
+        if mbu:
+            parts.append(mbu)
         chunk = self._format_chunk_memo()
         if chunk:
             parts.append(chunk)
@@ -215,6 +218,22 @@ class Telemetry:
                 f"{c['batch_scalar_kills']} scalar kills, "
                 f"{c['batch_reexecutions']} re-executions "
                 f"over {total} trials")
+
+    def _format_mbu(self) -> str:
+        """ECC/MBU decoder account, empty for single-bit campaigns.
+
+        The counters arrive only from campaigns that set a lattice
+        scheme or an MBU preset (shard workers withhold them otherwise),
+        so legacy telemetry output is byte-identical to pre-MBU runs.
+        """
+        c = self.counters
+        if not (c["ecc_corrected"] or c["ecc_detected"]
+                or c["ecc_escaped"] or c["mbu_multi_bit"]):
+            return ""
+        return (f"ecc: {c['ecc_corrected']} corrected, "
+                f"{c['ecc_detected']} detected, "
+                f"{c['ecc_escaped']} escaped "
+                f"({c['mbu_multi_bit']} multi-bit bursts)")
 
     def _format_serve(self) -> str:
         """Query-service account, empty when no requests were served."""

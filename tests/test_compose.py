@@ -377,8 +377,21 @@ class TestBlockRoundTrip:
            st.integers(-5_000, 5_000))
     def test_shift_roundtrip(self, timeline, cycle_delta, seq_delta):
         """shifted(+d) then shifted(-d) is the identity, and NO_VALUE
-        survives both directions untouched."""
+        survives both directions untouched.
+
+        The sentinel is in-band: a shift that would land a *real*
+        coordinate exactly on NO_VALUE cannot be represented (the row
+        would read back as anonymous/never-issued and the shift would
+        stop being invertible), so it must refuse loudly instead of
+        corrupting silently."""
         block = timeline.block(0, len(timeline))
+        collides = (
+            (seq_delta and (NO_VALUE - seq_delta) in block.seq)
+            or (cycle_delta and (NO_VALUE - cycle_delta) in block.issue))
+        if collides:
+            with pytest.raises(ValueError, match="NO_VALUE sentinel"):
+                block.shifted(cycle_delta, seq_delta)
+            return
         shifted = block.shifted(cycle_delta, seq_delta)
         for orig, moved in zip(block.seq, shifted.seq):
             if orig == NO_VALUE:

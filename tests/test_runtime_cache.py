@@ -4,11 +4,12 @@ Cold vs. warm equality, key sensitivity to every ingredient, --no-cache
 bypass semantics, and corrupt-entry recovery.
 """
 
+import dataclasses
 import pickle
 
 import pytest
 
-from repro.due.tracking import TrackingLevel
+from repro.due.tracking import DEFAULT_PET_ENTRIES, EccScheme, TrackingLevel
 from repro.experiments.common import (
     ExperimentSettings,
     clear_caches,
@@ -98,6 +99,58 @@ class TestCacheKeys:
     def test_unsupported_type_is_an_explicit_error(self):
         with pytest.raises(TypeError):
             cache_key(object())
+
+
+class TestMbuCacheKeyDiscipline:
+    """Growing the config must not fork the keys of pre-MBU results."""
+
+    def test_single_bit_campaign_key_is_byte_identical_to_pre_mbu(self):
+        """A replica of the config dataclass as it existed before the
+        MBU tier (the six legacy fields, same name) hashes identically
+        to today's config with the MBU knobs unset: every tally cached
+        before the knobs existed is still served warm."""
+
+        @dataclasses.dataclass(frozen=True)
+        class CampaignConfig:  # the pre-MBU field set, field for field
+            trials: int = 500
+            seed: int = 2004
+            parity: bool = False
+            tracking: TrackingLevel = TrackingLevel.PARITY_ONLY
+            pet_entries: int = DEFAULT_PET_ENTRIES
+            ecc: bool = False
+
+        legacy = CampaignConfig(trials=25, seed=6, parity=True)
+        assert cache_key("campaign", legacy) == cache_key("campaign", CONFIG)
+
+    def test_mbu_knobs_fork_the_key(self):
+        base = CampaignConfig(trials=25, seed=6)
+        variants = [
+            CampaignConfig(trials=25, seed=6, mbu_preset="terrestrial"),
+            CampaignConfig(trials=25, seed=6, mbu_preset="space"),
+            CampaignConfig(trials=25, seed=6, scheme=EccScheme.SEC),
+            CampaignConfig(trials=25, seed=6, scheme=EccScheme.TAEC),
+            CampaignConfig(trials=25, seed=6, scheme=EccScheme.TAEC,
+                           mbu_preset="terrestrial"),
+        ]
+        keys = {cache_key("campaign", variant)
+                for variant in [base] + variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_mbu_campaign_caches_warm(self, tmp_path, small_program,
+                                      small_execution, small_pipeline):
+        config = CampaignConfig(trials=20, seed=6, scheme=EccScheme.TAEC,
+                                mbu_preset="terrestrial")
+        with use_runtime(cache_dir=tmp_path) as context:
+            cold = run_campaign(small_program, small_execution,
+                                small_pipeline, config)
+            assert context.telemetry.counters["campaign_trials"] == 20
+        with use_runtime(cache_dir=tmp_path) as context:
+            warm = run_campaign(small_program, small_execution,
+                                small_pipeline, config)
+            assert context.telemetry.counters["campaign_trials"] == 0
+            assert context.cache.hits >= 1
+        assert warm.counts == cold.counts
+        assert warm.tracker_misses == cold.tracker_misses
 
 
 class TestCampaignCaching:
